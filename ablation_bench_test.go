@@ -1,0 +1,169 @@
+// Ablation benchmarks for the design choices DESIGN.md calls out:
+// approximate offline comparison vs conservative verification, the
+// overlap-maximizing scheduler vs packing, §3.3 probe jobs, marker-placed
+// vs naive verification points, and speculative execution against
+// stragglers. Each bench reports the measured effect as custom metrics.
+package clusterbft_test
+
+import (
+	"testing"
+
+	clusterbft "clusterbft"
+	"clusterbft/internal/faultsim"
+	"clusterbft/internal/workload"
+)
+
+// BenchmarkAblationOfflineComparison measures the latency advantage of
+// starting downstream sub-graphs on the first completed replica before
+// verification finishes (§3.3 "approximate, offline redundancy").
+func BenchmarkAblationOfflineComparison(b *testing.B) {
+	data := workload.Weather(20_000, 100, 3)
+	run := func(offline bool) int64 {
+		cfg := clusterbft.DefaultConfig()
+		cfg.Offline = offline
+		// r = f+1 = 2 replicas on two nodes, one a straggler:
+		// verification must wait for the slow replica, but offline mode
+		// starts the downstream sub-graph on the fast replica's output
+		// immediately.
+		cfg.R = 2
+		sys := clusterbft.New(2, 3, cfg)
+		sys.LoadData(workload.WeatherPath, data...)
+		if err := sys.InjectFault("node-001", clusterbft.FaultSlow, 1.0, 4); err != nil {
+			b.Fatal(err)
+		}
+		res, err := sys.Run(workload.WeatherScript)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.LatencyUs
+	}
+	for i := 0; i < b.N; i++ {
+		off := run(true)
+		cons := run(false)
+		if i == 0 {
+			b.ReportMetric(float64(cons)/float64(off), "conservative/offline-latency")
+			if off > cons {
+				b.Errorf("offline (%d) slower than conservative (%d)", off, cons)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationOverlapScheduling compares the overlap-maximizing
+// allocation against packing in time-to-exact-isolation (§4.2's
+// "intersections" scheduling strategy).
+func BenchmarkAblationOverlapScheduling(b *testing.B) {
+	measure := func(alloc faultsim.Allocation) float64 {
+		total := 0
+		for seed := int64(0); seed < 5; seed++ {
+			r := faultsim.Run(faultsim.Config{
+				CommissionProb: 0.5, Seed: 900 + seed*31, MaxTime: 600, Allocation: alloc,
+			})
+			if r.TimeToExactIsolation >= 0 {
+				total += r.TimeToExactIsolation
+			} else {
+				total += 600
+			}
+		}
+		return float64(total) / 5
+	}
+	for i := 0; i < b.N; i++ {
+		rotate := measure(faultsim.AllocRotate)
+		pack := measure(faultsim.AllocPack)
+		if i == 0 {
+			b.ReportMetric(rotate, "rotate-isolation-ticks")
+			b.ReportMetric(pack, "pack-isolation-ticks")
+		}
+	}
+}
+
+// BenchmarkAblationProbeJobs measures §3.3's dummy probe jobs: deliberate
+// overlay of suspicious sets versus waiting for accidental overlap.
+func BenchmarkAblationProbeJobs(b *testing.B) {
+	measure := func(probes bool) float64 {
+		total := 0
+		for seed := int64(0); seed < 5; seed++ {
+			r := faultsim.Run(faultsim.Config{
+				CommissionProb: 0.35, Seed: 700 + seed*19, MaxTime: 500, Probes: probes,
+			})
+			if r.TimeToExactIsolation >= 0 {
+				total += r.TimeToExactIsolation
+			} else {
+				total += 500
+			}
+		}
+		return float64(total) / 5
+	}
+	for i := 0; i < b.N; i++ {
+		with := measure(true)
+		without := measure(false)
+		if i == 0 {
+			b.ReportMetric(with, "probed-isolation-ticks")
+			b.ReportMetric(without, "unprobed-isolation-ticks")
+		}
+	}
+}
+
+// BenchmarkAblationMarkerPlacement compares the Fig 3 marker function
+// against naive placement (digest at every candidate vertex) for honest
+// runs: the marker buys most of the detection power at a fraction of the
+// digest cost.
+func BenchmarkAblationMarkerPlacement(b *testing.B) {
+	data := workload.Twitter(20_000, 800, 5)
+	run := func(points int) (int64, int64) {
+		cfg := clusterbft.DefaultConfig()
+		cfg.Points = points
+		sys := clusterbft.New(16, 3, cfg)
+		sys.LoadData(workload.TwitterPath, data...)
+		res, err := sys.Run(workload.FollowerScript)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.LatencyUs, res.Metrics.DigestRecords
+	}
+	for i := 0; i < b.N; i++ {
+		markedLat, markedDig := run(2)
+		allLat, allDig := run(-1)
+		if i == 0 {
+			b.ReportMetric(float64(allLat)/float64(markedLat), "all/marked-latency")
+			b.ReportMetric(float64(allDig)/float64(max64(markedDig, 1)), "all/marked-digest-records")
+		}
+	}
+}
+
+// BenchmarkAblationSpeculation measures speculative execution against a
+// straggler node (an extension beyond the paper; Hadoop has it, the
+// virtual-time engine models it).
+func BenchmarkAblationSpeculation(b *testing.B) {
+	data := workload.Twitter(30_000, 800, 9) // 3 map splits
+	run := func(spec bool) int64 {
+		// Unreplicated run whose map tasks spread across nodes: the
+		// tasks landing on the 20x straggler become within-job outliers
+		// that speculation detects and re-executes elsewhere.
+		sys := clusterbft.New(6, 2, clusterbft.DefaultConfig())
+		sys.LoadData(workload.TwitterPath, data...)
+		sys.SetSpeculation(spec)
+		if err := sys.InjectFaultWithFactor("node-001", clusterbft.FaultSlow, 1.0, 4, 20); err != nil {
+			b.Fatal(err)
+		}
+		lat, err := sys.RunPlain(workload.FollowerScript)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return lat
+	}
+	for i := 0; i < b.N; i++ {
+		with := run(true)
+		without := run(false)
+		if i == 0 {
+			b.ReportMetric(float64(without)/float64(with), "nospec/spec-latency")
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

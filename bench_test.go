@@ -1,0 +1,217 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§6). Each benchmark runs its experiment end to end per
+// iteration; with -v the rendered rows (the paper's table/figure data)
+// are logged once. CLUSTERBFT_SCALE=paper switches to the paper-sized
+// workloads (32-node tier, 10^5-row datasets); the default small scale
+// keeps `go test -bench=.` under a minute.
+//
+// Micro-benchmarks at the bottom cover the hot paths: digest streaming,
+// script parsing, plan compilation, engine execution and PBFT ordering.
+package clusterbft_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	clusterbft "clusterbft"
+	"clusterbft/internal/bft"
+	"clusterbft/internal/digest"
+	"clusterbft/internal/experiments"
+	"clusterbft/internal/faultsim"
+	"clusterbft/internal/pig"
+	"clusterbft/internal/tuple"
+	"clusterbft/internal/workload"
+)
+
+func benchScale() experiments.Scale {
+	if os.Getenv("CLUSTERBFT_SCALE") == "paper" {
+		return experiments.Paper()
+	}
+	return experiments.Small()
+}
+
+// BenchmarkFig09TwitterFollower regenerates Fig 9: Pure Pig vs Single vs
+// BFT execution of the follower analysis at 1–3 verification points.
+func BenchmarkFig09TwitterFollower(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+			last := res.Rows[len(res.Rows)-1]
+			b.ReportMetric(float64(last.BFTUs)/float64(res.PurePigUs), "bft/pure-latency")
+		}
+	}
+}
+
+// BenchmarkFig10TwitterTwoHop regenerates Fig 10: digest overhead of the
+// two-hop self-join at Join/Project/Filter points.
+func BenchmarkFig10TwitterTwoHop(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkTable3Airline regenerates Table 3: the airline multi-store
+// query under one always-commission node, C vs P across r ∈ {2,3,4}.
+func BenchmarkTable3Airline(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+			r2 := res.Rows[0]
+			b.ReportMetric(float64(r2.C.LatencyUs)/float64(res.Baseline.LatencyUs), "r2-C-latency-x")
+			b.ReportMetric(float64(r2.P.LatencyUs)/float64(res.Baseline.LatencyUs), "r2-P-latency-x")
+		}
+	}
+}
+
+// BenchmarkFig11FaultIsolation regenerates Fig 11: jobs until |D| = f vs
+// commission probability across job mixes and f.
+func BenchmarkFig11FaultIsolation(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig11(sc)
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkFig12Suspicion regenerates Fig 12: the suspicion-level
+// population over time.
+func BenchmarkFig12Suspicion(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig12(sc)
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkFig13SuspicionSpike regenerates Fig 13: suspicion spikes under
+// a large-job-heavy mix.
+func BenchmarkFig13SuspicionSpike(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig13(sc)
+		if i == 0 {
+			b.Log("\n" + res.Render())
+		}
+	}
+}
+
+// BenchmarkFig14Weather regenerates Fig 14: approximation accuracy (d)
+// sweep with a BFT-replicated control tier, Full vs ClusterBFT vs
+// Individual.
+func BenchmarkFig14Weather(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig14(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + res.Render())
+			row := res.Rows[0] // f=1, d=10k
+			b.ReportMetric(float64(row.Cluster.TotalUs())/float64(row.Full.TotalUs()), "clusterbft/full-latency")
+		}
+	}
+}
+
+// --- micro-benchmarks ---
+
+// BenchmarkDigestWriter measures streaming digest throughput per record.
+func BenchmarkDigestWriter(b *testing.B) {
+	rows := make([]tuple.Tuple, 1000)
+	for i := range rows {
+		rows[i] = tuple.Tuple{tuple.Int(int64(i)), tuple.Str("some-payload-column"), tuple.Int(int64(i * 7))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := digest.NewWriter(digest.Key{SID: "s", Point: 1, Task: "m0"}, 0, 100, func(digest.Report) {})
+		for _, r := range rows {
+			w.Add(r)
+		}
+		w.Close()
+	}
+	b.ReportMetric(float64(len(rows)), "records/op")
+}
+
+// BenchmarkPigParse measures script front-end cost.
+func BenchmarkPigParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := pig.Parse(workload.AirlineScript); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineFollowerRun measures one unreplicated engine execution
+// of the follower script over 20k edges.
+func BenchmarkEngineFollowerRun(b *testing.B) {
+	data := workload.Twitter(20_000, 500, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := clusterbft.New(8, 3, clusterbft.DefaultConfig())
+		sys.LoadData(workload.TwitterPath, data...)
+		if _, err := sys.RunPlain(workload.FollowerScript); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAssuredFollowerRun measures a full BFT-protected execution.
+func BenchmarkAssuredFollowerRun(b *testing.B) {
+	data := workload.Twitter(20_000, 500, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := clusterbft.New(16, 3, clusterbft.DefaultConfig())
+		sys.LoadData(workload.TwitterPath, data...)
+		if _, err := sys.Run(workload.FollowerScript); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPBFTInvoke measures one ordered op through a 3f+1 group.
+func BenchmarkPBFTInvoke(b *testing.B) {
+	for _, f := range []int{1, 3} {
+		b.Run(fmt.Sprintf("f=%d", f), func(b *testing.B) {
+			g := bft.NewGroup(f, func(int) bft.StateMachine { return nopSM{} })
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := g.Invoke([]byte("op")); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+type nopSM struct{}
+
+func (nopSM) Apply(op []byte) []byte { return op }
+
+// BenchmarkFaultSimTick measures the §6.3 simulator.
+func BenchmarkFaultSimTick(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		faultsim.Run(faultsim.Config{CommissionProb: 0.6, Seed: int64(i), MaxTime: 100})
+	}
+}

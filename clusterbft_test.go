@@ -1,0 +1,96 @@
+package clusterbft_test
+
+import (
+	"strings"
+	"testing"
+
+	clusterbft "clusterbft"
+	"clusterbft/internal/workload"
+)
+
+func newSystem(t *testing.T, cfg clusterbft.Config) *clusterbft.System {
+	t.Helper()
+	sys := clusterbft.New(16, 3, cfg)
+	sys.LoadData(workload.TwitterPath, workload.Twitter(5_000, 300, 1)...)
+	return sys
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	sys := newSystem(t, clusterbft.DefaultConfig())
+	res, err := sys.Run(workload.FollowerScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("not verified")
+	}
+	out, err := sys.Output(res, "out/twitter/followers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Error("empty output")
+	}
+	for _, l := range out[:3] {
+		if !strings.Contains(l, "\t") {
+			t.Errorf("malformed record %q", l)
+		}
+	}
+	if sys.VirtualNow() <= 0 {
+		t.Error("virtual clock did not advance")
+	}
+	if sys.EngineMetrics().JobsCompleted == 0 {
+		t.Error("no jobs recorded")
+	}
+}
+
+func TestSystemFaultInjectionAndSuspicion(t *testing.T) {
+	cfg := clusterbft.DefaultConfig()
+	cfg.SuspicionThreshold = 0.5
+	sys := newSystem(t, cfg)
+	if err := sys.InjectFault("node-002", clusterbft.FaultCommission, 1.0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.InjectFault("node-999", clusterbft.FaultCommission, 1.0, 7); err == nil {
+		t.Error("unknown node should error")
+	}
+	var detected bool
+	for i := 0; i < 3 && !detected; i++ {
+		res, err := sys.Run(workload.FollowerScript)
+		if err != nil {
+			t.Fatal(err)
+		}
+		detected = res.FaultyReplicas > 0
+	}
+	if !detected {
+		t.Fatal("fault never detected over three runs")
+	}
+	if sys.Suspicion("node-002") == 0 {
+		t.Error("suspicion did not rise")
+	}
+	if len(sys.Suspects()) == 0 {
+		t.Error("no suspects")
+	}
+}
+
+func TestSystemRunPlainBaseline(t *testing.T) {
+	sys := newSystem(t, clusterbft.DefaultConfig())
+	lat, err := sys.RunPlain(workload.FollowerScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 {
+		t.Errorf("latency = %d", lat)
+	}
+}
+
+func TestSystemOutputUnknownStore(t *testing.T) {
+	sys := newSystem(t, clusterbft.DefaultConfig())
+	res, err := sys.Run(workload.FollowerScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Output(res, "out/ghost"); err == nil {
+		t.Error("unknown store should error")
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clusterbft/internal/cluster"
+	"clusterbft/internal/dfs"
+)
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	local := filepath.Join(dir, "data.tsv")
+	if err := os.WriteFile(local, []byte("1\ta\n2\tb\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs := dfs.New()
+	if err := loadFile(fs, "in/data", local); err != nil {
+		t.Fatal(err)
+	}
+	lines, err := fs.ReadLines("in/data")
+	if err != nil || len(lines) != 2 || lines[0] != "1\ta" {
+		t.Errorf("lines = %v, err = %v", lines, err)
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if err := loadFile(dfs.New(), "x", "/nonexistent/file"); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestAttachAdversary(t *testing.T) {
+	cl := cluster.New(4, 2)
+	if err := attachAdversary(cl, "node-001:commission:0.5"); err != nil {
+		t.Fatal(err)
+	}
+	n := cl.Node("node-001")
+	if n.Adversary == nil || n.Adversary.Kind != cluster.FaultCommission || n.Adversary.Probability != 0.5 {
+		t.Errorf("adversary = %+v", n.Adversary)
+	}
+	if err := attachAdversary(cl, "node-002:omission:1.0"); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Node("node-002").Adversary.Kind != cluster.FaultOmission {
+		t.Error("omission kind not set")
+	}
+}
+
+func TestAttachAdversaryErrors(t *testing.T) {
+	cl := cluster.New(2, 1)
+	cases := []string{
+		"node-001",                 // too few parts
+		"node-001:evil:1.0",        // unknown kind
+		"node-001:commission:nope", // bad probability
+		"node-099:commission:1.0",  // unknown node
+	}
+	for _, c := range cases {
+		if err := attachAdversary(cl, c); err == nil {
+			t.Errorf("spec %q should error", c)
+		}
+	}
+}
+
+func TestRepeatedFlag(t *testing.T) {
+	var r repeated
+	if err := r.Set("a=b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Set("c=d"); err != nil {
+		t.Fatal(err)
+	}
+	if r.String() != "a=b,c=d" || len(r) != 2 {
+		t.Errorf("repeated = %v", r)
+	}
+}

@@ -1,0 +1,74 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-exp all|fig9|fig10|table3|fig11|fig12|fig13|fig14] [-scale small|paper]
+//
+// Each experiment prints rows shaped like the paper's (§6); see
+// EXPERIMENTS.md for the mapping and the expected shapes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clusterbft/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig9, fig10, table3, fig11, fig12, fig13, fig14")
+	scaleName := flag.String("scale", "small", "workload scale: small or paper")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "small":
+		sc = experiments.Small()
+	case "paper":
+		sc = experiments.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	runners := []struct {
+		name string
+		run  func() (string, error)
+	}{
+		{"fig9", func() (string, error) { r, err := experiments.Fig9(sc); return render(r, err) }},
+		{"fig10", func() (string, error) { r, err := experiments.Fig10(sc); return render(r, err) }},
+		{"table3", func() (string, error) { r, err := experiments.Table3(sc); return render(r, err) }},
+		{"fig11", func() (string, error) { return experiments.Fig11(sc).Render(), nil }},
+		{"fig12", func() (string, error) { return experiments.Fig12(sc).Render(), nil }},
+		{"fig13", func() (string, error) { return experiments.Fig13(sc).Render(), nil }},
+		{"fig14", func() (string, error) { r, err := experiments.Fig14(sc); return render(r, err) }},
+	}
+
+	matched := false
+	for _, r := range runners {
+		if *exp != "all" && *exp != r.name {
+			continue
+		}
+		matched = true
+		out, err := r.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+type renderer interface{ Render() string }
+
+func render(r renderer, err error) (string, error) {
+	if err != nil {
+		return "", err
+	}
+	return r.Render(), nil
+}

@@ -1,0 +1,138 @@
+// Command pigrun executes a PigLatin-subset script on the simulated
+// MapReduce engine without replication or verification — the "Pure Pig"
+// baseline — and prints the outputs.
+//
+// Usage:
+//
+//	pigrun -script q.pig -input data/edges=edges.tsv [-nodes 8] [-slots 3] [-show 20]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"clusterbft/internal/cluster"
+	"clusterbft/internal/dfs"
+	"clusterbft/internal/mapred"
+	"clusterbft/internal/pig"
+)
+
+type repeated []string
+
+func (r *repeated) String() string     { return strings.Join(*r, ",") }
+func (r *repeated) Set(s string) error { *r = append(*r, s); return nil }
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pigrun:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var inputs repeated
+	script := flag.String("script", "", "path to the Pig script (required)")
+	flag.Var(&inputs, "input", "dfspath=localfile input mapping (repeatable)")
+	nodes := flag.Int("nodes", 8, "cluster size")
+	slots := flag.Int("slots", 3, "task slots per node")
+	reduces := flag.Int("reduces", 2, "reduce parallelism")
+	show := flag.Int("show", 20, "output records to print per store")
+	explain := flag.Bool("explain", false, "print the logical plan and compiled jobs, then exit")
+	flag.Parse()
+
+	if *script == "" {
+		return fmt.Errorf("-script is required")
+	}
+	src, err := os.ReadFile(*script)
+	if err != nil {
+		return err
+	}
+	plan, err := pig.Parse(string(src))
+	if err != nil {
+		return err
+	}
+	jobs, err := mapred.Compile(plan, mapred.CompileOptions{NumReduces: *reduces})
+	if err != nil {
+		return err
+	}
+	if *explain {
+		fmt.Println("logical plan:")
+		fmt.Print(plan.String())
+		fmt.Println("\ncompiled jobs:")
+		for _, j := range jobs {
+			fmt.Printf("  %v deps=%v\n", j, j.Deps)
+		}
+		return nil
+	}
+
+	fs := dfs.New()
+	for _, in := range inputs {
+		dfsPath, local, ok := strings.Cut(in, "=")
+		if !ok {
+			return fmt.Errorf("bad -input %q (want dfspath=localfile)", in)
+		}
+		fh, err := os.Open(local)
+		if err != nil {
+			return err
+		}
+		sc := bufio.NewScanner(fh)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		var lines []string
+		for sc.Scan() {
+			lines = append(lines, sc.Text())
+		}
+		fh.Close()
+		if err := sc.Err(); err != nil {
+			return err
+		}
+		fs.Append(dfsPath, lines...)
+	}
+
+	for _, v := range plan.Loads() {
+		if !fs.Exists(v.Path) && len(fs.List(v.Path)) == 0 {
+			return fmt.Errorf("LOAD %q has no data; add -input %s=<file>", v.Path, v.Path)
+		}
+	}
+
+	eng := mapred.NewEngine(fs, cluster.New(*nodes, *slots), nil, mapred.DefaultCostModel())
+	states := make([]*mapred.JobState, 0, len(jobs))
+	for _, j := range jobs {
+		js, err := eng.Submit(j)
+		if err != nil {
+			return err
+		}
+		states = append(states, js)
+	}
+	eng.Run()
+
+	var makespan int64
+	for _, js := range states {
+		if !js.Done {
+			return fmt.Errorf("job %s did not complete", js.Spec.ID)
+		}
+		if js.DoneTime > makespan {
+			makespan = js.DoneTime
+		}
+	}
+	fmt.Printf("latency: %.2fs (virtual)   cpu: %.2fs   jobs: %d\n",
+		float64(makespan)/1e6, float64(eng.Metrics.CPUTimeUs)/1e6, eng.Metrics.JobsCompleted)
+
+	for _, st := range plan.Stores() {
+		lines, err := fs.ReadTree(st.Path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s (%d records):\n", st.Path, len(lines))
+		for i, l := range lines {
+			if i >= *show {
+				fmt.Printf("  ... %d more\n", len(lines)-i)
+				break
+			}
+			fmt.Println(" ", l)
+		}
+	}
+	return nil
+}

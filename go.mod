@@ -1,0 +1,3 @@
+module clusterbft
+
+go 1.24

@@ -1,0 +1,258 @@
+// Package analyze implements ClusterBFT's graph analyzer (paper §4.1): it
+// computes data-flow levels and input ratios (Fig 5) over a logical plan
+// and runs the marker function (Fig 3) that places the n verification
+// points requested by the client, respecting the adversary model.
+package analyze
+
+import (
+	"sort"
+
+	"clusterbft/internal/pig"
+)
+
+// Model is the adversary model (paper §2.3) under which verification
+// points are chosen.
+type Model uint8
+
+const (
+	// Weak adversaries cause only omission or commission faults; any
+	// vertex of the data-flow graph may carry a verification point.
+	Weak Model = iota + 1
+	// Strong adversaries control nodes fully; only points where data
+	// flows between MapReduce jobs (materialization points) are
+	// meaningful verification points.
+	Strong
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case Weak:
+		return "weak"
+	case Strong:
+		return "strong"
+	default:
+		return "unknown"
+	}
+}
+
+// SizeFunc reports the input size in bytes of a LOAD path. The graph
+// analyzer uses it for input ratios; unknown paths should return 0.
+type SizeFunc func(path string) int64
+
+// Analysis holds the graph-analyzer results for one plan.
+type Analysis struct {
+	Plan   *pig.Plan
+	Levels map[int]int     // vertex ID -> level (Table 2)
+	Ratios map[int]float64 // vertex ID -> input ratio (Fig 5)
+}
+
+// Analyze computes levels and input ratios for the plan. size may be nil,
+// in which case all loads are treated as equal-sized.
+func Analyze(p *pig.Plan, size SizeFunc) *Analysis {
+	a := &Analysis{
+		Plan:   p,
+		Levels: Levels(p),
+		Ratios: make(map[int]float64, len(p.Vertices)),
+	}
+	a.computeRatios(size)
+	return a
+}
+
+// Levels computes level(v) per Table 2: 1 for LOAD vertices, otherwise
+// 1 + the maximum parent level. Plan order is topological, so one pass
+// suffices.
+func Levels(p *pig.Plan) map[int]int {
+	levels := make(map[int]int, len(p.Vertices))
+	for _, v := range p.Vertices {
+		if v.Kind == pig.OpLoad {
+			levels[v.ID] = 1
+			continue
+		}
+		maxParent := 0
+		for _, par := range v.Parents {
+			if l := levels[par.ID]; l > maxParent {
+				maxParent = l
+			}
+		}
+		levels[v.ID] = 1 + maxParent
+	}
+	return levels
+}
+
+// computeRatios implements INPUT_RATIO from Fig 5:
+//
+//	ir[load] = input_size(load) / Σ input_size(all loads)
+//	ir[v]    = Σ_{p∈parents(v)} ir[p] / Σ_{n: level(n)=level(v)-1} ir[n]
+func (a *Analysis) computeRatios(size SizeFunc) {
+	var totalLoad float64
+	loadSize := make(map[int]float64)
+	for _, v := range a.Plan.Loads() {
+		s := 1.0
+		if size != nil {
+			if b := size(v.Path); b > 0 {
+				s = float64(b)
+			}
+		}
+		loadSize[v.ID] = s
+		totalLoad += s
+	}
+
+	// Sum of ratios per level, filled as we go (plan order is
+	// topological, and level(v)-1 vertices always precede v).
+	levelSum := make(map[int]float64)
+	for _, v := range a.Plan.Vertices {
+		var ir float64
+		if v.Kind == pig.OpLoad {
+			if totalLoad > 0 {
+				ir = loadSize[v.ID] / totalLoad
+			}
+		} else {
+			var parentSum float64
+			for _, p := range v.Parents {
+				parentSum += a.Ratios[p.ID]
+			}
+			if denom := levelSum[a.Levels[v.ID]-1]; denom > 0 {
+				ir = parentSum / denom
+			}
+		}
+		a.Ratios[v.ID] = ir
+		levelSum[a.Levels[v.ID]] += ir
+	}
+}
+
+// hasShuffleAncestor reports whether any proper ancestor of v forces a
+// shuffle, i.e. whether v executes on the reduce side of some job.
+func hasShuffleAncestor(v *pig.Vertex) bool {
+	for _, p := range v.Parents {
+		if p.Kind.IsShuffle() || hasShuffleAncestor(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// Candidates returns the vertex IDs eligible to carry a verification
+// point under the adversary model, in plan order.
+//
+// Under a weak adversary any vertex except STORE qualifies (the paper's
+// Fig 4 discussion considers points right after LOAD). Under a strong
+// adversary only materialization points qualify: vertices whose output is
+// written between MapReduce jobs — reduce-side vertices feeding a further
+// shuffle, parents of STOREs, and reduce-side vertices shared by several
+// consumers.
+func (a *Analysis) Candidates(m Model) []int {
+	var out []int
+	for _, v := range a.Plan.Vertices {
+		if v.Kind == pig.OpStore {
+			continue
+		}
+		if m == Weak {
+			out = append(out, v.ID)
+			continue
+		}
+		if !v.Kind.IsShuffle() && !hasShuffleAncestor(v) {
+			continue // map-side of the first job: never materialized
+		}
+		if v.Kind == pig.OpUnion {
+			continue // unions flatten into their consumers; no materialization
+		}
+		materialized := len(v.Children) > 1
+		for _, c := range v.Children {
+			if c.Kind.IsShuffle() || c.Kind == pig.OpStore {
+				materialized = true
+			}
+		}
+		if materialized {
+			out = append(out, v.ID)
+		}
+	}
+	return out
+}
+
+// Mark implements the MARK function of Fig 3: greedily select n
+// verification points maximizing score(v) = ir[v] + dist(v, M), where
+// dist is the undirected edge distance to the nearest already-marked
+// vertex. M is seeded with the LOAD vertices (their input is trusted
+// storage, so they behave as implicit verification points — this matches
+// the ".5+1" / ".6+2" distance annotations of Fig 4) plus any
+// extraSeeds: ClusterBFT passes the final STORE parents, which are
+// always verified, so the n explicit points land mid-flow where they
+// best split re-computation cost against detection probability (the
+// Fig 4 tradeoff discussion). Seeded vertices are never picked. Ties
+// break on the lower vertex ID so marking is deterministic. Fewer than n
+// candidates yields all of them.
+func (a *Analysis) Mark(n int, m Model, extraSeeds ...int) []int {
+	candidates := a.Candidates(m)
+	marked := make(map[int]bool)
+	seeds := make([]int, 0, 4+len(extraSeeds))
+	for _, v := range a.Plan.Loads() {
+		seeds = append(seeds, v.ID)
+	}
+	for _, id := range extraSeeds {
+		seeds = append(seeds, id)
+		marked[id] = true
+	}
+	var out []int
+	for len(out) < n {
+		dist := a.distances(append(append([]int(nil), seeds...), out...))
+		best, bestScore := -1, -1.0
+		for _, id := range candidates {
+			if marked[id] {
+				continue
+			}
+			score := a.Ratios[id] + float64(dist[id])
+			if score > bestScore {
+				best, bestScore = id, score
+			}
+		}
+		if best < 0 {
+			break // candidate set exhausted
+		}
+		marked[best] = true
+		out = append(out, best)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// distances runs a multi-source BFS over the undirected plan graph from
+// the seed vertex IDs, returning edge distances. Unreachable vertices get
+// a distance one past the largest finite distance, keeping scores finite.
+func (a *Analysis) distances(seeds []int) map[int]int {
+	dist := make(map[int]int, len(a.Plan.Vertices))
+	queue := make([]*pig.Vertex, 0, len(seeds))
+	for _, id := range seeds {
+		if v := a.Plan.ByID(id); v != nil {
+			dist[v.ID] = 0
+			queue = append(queue, v)
+		}
+	}
+	maxSeen := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, nb := range neighbors(v) {
+			if _, ok := dist[nb.ID]; !ok {
+				dist[nb.ID] = dist[v.ID] + 1
+				if dist[nb.ID] > maxSeen {
+					maxSeen = dist[nb.ID]
+				}
+				queue = append(queue, nb)
+			}
+		}
+	}
+	for _, v := range a.Plan.Vertices {
+		if _, ok := dist[v.ID]; !ok {
+			dist[v.ID] = maxSeen + 1
+		}
+	}
+	return dist
+}
+
+func neighbors(v *pig.Vertex) []*pig.Vertex {
+	out := make([]*pig.Vertex, 0, len(v.Parents)+len(v.Children))
+	out = append(out, v.Parents...)
+	out = append(out, v.Children...)
+	return out
+}

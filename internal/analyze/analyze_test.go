@@ -1,0 +1,250 @@
+package analyze
+
+import (
+	"testing"
+
+	"clusterbft/internal/pig"
+)
+
+const chainScript = `
+edges = LOAD 'in' AS (user:int, follower:int);
+nonempty = FILTER edges BY follower != 0;
+grouped = GROUP nonempty BY user;
+counts = FOREACH grouped GENERATE group, COUNT(nonempty);
+STORE counts INTO 'out';
+`
+
+// Roughly Fig 4: three loads of different sizes feeding filters and joins.
+const multiLoadScript = `
+l1 = LOAD 'a' AS (k, v);
+l2 = LOAD 'b' AS (k, v);
+l3 = LOAD 'c' AS (k, v);
+f3 = FILTER l3 BY v != 0;
+j1 = JOIN l1 BY k, l2 BY k;
+p1 = FOREACH j1 GENERATE l1::k AS k, l1::v AS v;
+j2 = JOIN p1 BY k, f3 BY k;
+STORE j2 INTO 'out';
+`
+
+func parse(t *testing.T, src string) *pig.Plan {
+	t.Helper()
+	p, err := pig.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestLevelsChain(t *testing.T) {
+	p := parse(t, chainScript)
+	levels := Levels(p)
+	want := []int{1, 2, 3, 4, 5} // load, filter, group, foreach, store
+	for i, w := range want {
+		if levels[p.Vertices[i].ID] != w {
+			t.Errorf("level(%v) = %d, want %d", p.Vertices[i], levels[p.Vertices[i].ID], w)
+		}
+	}
+}
+
+func TestLevelsJoinTakesMax(t *testing.T) {
+	p := parse(t, multiLoadScript)
+	levels := Levels(p)
+	// j2's parents: p1 (level 3) and f3 (level 2) -> level 4.
+	if got := levels[p.ByAlias("j2").ID]; got != 4 {
+		t.Errorf("level(j2) = %d, want 4", got)
+	}
+}
+
+func TestInputRatiosLoads(t *testing.T) {
+	p := parse(t, multiLoadScript)
+	sizes := map[string]int64{"a": 10, "b": 20, "c": 30}
+	a := Analyze(p, func(path string) int64 { return sizes[path] })
+	wantLoads := map[string]float64{"l1": 10.0 / 60, "l2": 20.0 / 60, "l3": 30.0 / 60}
+	for alias, want := range wantLoads {
+		got := a.Ratios[p.ByAlias(alias).ID]
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("ir(%s) = %v, want %v", alias, got, want)
+		}
+	}
+}
+
+func TestInputRatiosChainIsOne(t *testing.T) {
+	p := parse(t, chainScript)
+	a := Analyze(p, nil)
+	// In a single chain every vertex carries the full input.
+	for _, v := range p.Vertices {
+		got := a.Ratios[v.ID]
+		if diff := got - 1.0; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("ir(%v) = %v, want 1.0", v, got)
+		}
+	}
+}
+
+func TestInputRatioNilSizeFunc(t *testing.T) {
+	p := parse(t, multiLoadScript)
+	a := Analyze(p, nil)
+	// Equal-sized loads: 1/3 each.
+	for _, alias := range []string{"l1", "l2", "l3"} {
+		got := a.Ratios[p.ByAlias(alias).ID]
+		if diff := got - 1.0/3; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("ir(%s) = %v, want 1/3", alias, got)
+		}
+	}
+}
+
+func TestInputRatioJoinAggregatesParents(t *testing.T) {
+	p := parse(t, multiLoadScript)
+	sizes := map[string]int64{"a": 10, "b": 20, "c": 30}
+	a := Analyze(p, func(path string) int64 { return sizes[path] })
+	// j1 at level 2: parents l1+l2 = 0.5; level-1 sum = 1.0 -> 0.5.
+	if got := a.Ratios[p.ByAlias("j1").ID]; got < 0.49 || got > 0.51 {
+		t.Errorf("ir(j1) = %v, want 0.5", got)
+	}
+	// f3 at level 2: parent l3 = 0.5 of level-1 mass -> 0.5.
+	if got := a.Ratios[p.ByAlias("f3").ID]; got < 0.49 || got > 0.51 {
+		t.Errorf("ir(f3) = %v, want 0.5", got)
+	}
+}
+
+func TestCandidatesWeak(t *testing.T) {
+	p := parse(t, chainScript)
+	a := Analyze(p, nil)
+	got := a.Candidates(Weak)
+	// Everything except the store (4 of 5 vertices).
+	if len(got) != 4 {
+		t.Fatalf("weak candidates = %v", got)
+	}
+	for _, id := range got {
+		if p.ByID(id).Kind == pig.OpStore {
+			t.Error("store must not be a candidate")
+		}
+	}
+}
+
+func TestCandidatesStrong(t *testing.T) {
+	p := parse(t, chainScript)
+	a := Analyze(p, nil)
+	got := a.Candidates(Strong)
+	// Only the FOREACH (reduce side, parent of STORE) is a
+	// materialization point; filter and load are map-side of job 1, and
+	// the GROUP vertex's output stays inside the job.
+	if len(got) != 1 || p.ByID(got[0]).Kind != pig.OpForEach {
+		t.Errorf("strong candidates = %v (plan:\n%s)", got, p)
+	}
+}
+
+func TestCandidatesStrongMultiJob(t *testing.T) {
+	// Two chained groups -> the first FOREACH feeds a shuffle and is a
+	// materialization point; so is the second.
+	p := parse(t, `
+w = LOAD 'weather' AS (station, temp:int);
+g1 = GROUP w BY station;
+avgs = FOREACH g1 GENERATE group AS station, AVG(w.temp) AS avgt;
+g2 = GROUP avgs BY avgt;
+counts = FOREACH g2 GENERATE group AS avgt, COUNT(avgs) AS n;
+STORE counts INTO 'out';
+`)
+	a := Analyze(p, nil)
+	got := a.Candidates(Strong)
+	if len(got) != 2 {
+		t.Fatalf("strong candidates = %v", got)
+	}
+	if p.ByID(got[0]).Alias != "avgs" || p.ByID(got[1]).Alias != "counts" {
+		t.Errorf("candidates = %v, %v", p.ByID(got[0]), p.ByID(got[1]))
+	}
+}
+
+func TestMarkSinglePointPrefersMiddle(t *testing.T) {
+	p := parse(t, chainScript)
+	a := Analyze(p, nil)
+	marks := a.Mark(1, Weak)
+	if len(marks) != 1 {
+		t.Fatalf("marks = %v", marks)
+	}
+	// With uniform ratios the score is dominated by distance from the
+	// load; the deepest eligible vertex (the FOREACH) wins.
+	if p.ByID(marks[0]).Kind != pig.OpForEach {
+		t.Errorf("marked %v, want the FOREACH", p.ByID(marks[0]))
+	}
+}
+
+func TestMarkSpreadsPoints(t *testing.T) {
+	p := parse(t, chainScript)
+	a := Analyze(p, nil)
+	marks := a.Mark(2, Weak)
+	if len(marks) != 2 {
+		t.Fatalf("marks = %v", marks)
+	}
+	// The second point should not be adjacent-duplicate of the first:
+	// marking the FOREACH makes everything near it score low, so the
+	// second pick lands upstream (filter or group).
+	if marks[0] == marks[1] {
+		t.Error("duplicate marks")
+	}
+}
+
+func TestMarkRespectsModel(t *testing.T) {
+	p := parse(t, chainScript)
+	a := Analyze(p, nil)
+	marks := a.Mark(3, Strong)
+	// Strong model has only one candidate in this plan.
+	if len(marks) != 1 {
+		t.Errorf("strong marks = %v, want exactly 1", marks)
+	}
+}
+
+func TestMarkZero(t *testing.T) {
+	p := parse(t, chainScript)
+	a := Analyze(p, nil)
+	if got := a.Mark(0, Weak); len(got) != 0 {
+		t.Errorf("Mark(0) = %v", got)
+	}
+}
+
+func TestMarkMoreThanCandidates(t *testing.T) {
+	p := parse(t, chainScript)
+	a := Analyze(p, nil)
+	got := a.Mark(100, Weak)
+	if len(got) != 4 {
+		t.Errorf("Mark(100) = %v, want all 4 weak candidates", got)
+	}
+}
+
+func TestMarkDeterministic(t *testing.T) {
+	p := parse(t, multiLoadScript)
+	a := Analyze(p, nil)
+	first := a.Mark(3, Weak)
+	for i := 0; i < 5; i++ {
+		again := a.Mark(3, Weak)
+		if len(again) != len(first) {
+			t.Fatalf("nondeterministic mark count")
+		}
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("nondeterministic marks: %v vs %v", first, again)
+			}
+		}
+	}
+}
+
+func TestDistancesSeededAtLoads(t *testing.T) {
+	p := parse(t, chainScript)
+	a := Analyze(p, nil)
+	var seeds []int
+	for _, v := range p.Loads() {
+		seeds = append(seeds, v.ID)
+	}
+	dist := a.distances(seeds)
+	want := []int{0, 1, 2, 3, 4}
+	for i, w := range want {
+		if dist[p.Vertices[i].ID] != w {
+			t.Errorf("dist(%v) = %d, want %d", p.Vertices[i], dist[p.Vertices[i].ID], w)
+		}
+	}
+}
+
+func TestModelString(t *testing.T) {
+	if Weak.String() != "weak" || Strong.String() != "strong" || Model(0).String() != "unknown" {
+		t.Error("Model.String incorrect")
+	}
+}

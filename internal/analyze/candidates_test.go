@@ -1,0 +1,117 @@
+package analyze
+
+import (
+	"testing"
+)
+
+// The airline-style plan: shared aggregates feeding orders and a union.
+const airlineStyle = `
+fl = LOAD 'flights' AS (org, dst);
+go1 = GROUP fl BY org;
+outb = FOREACH go1 GENERATE group AS a, COUNT(fl) AS n;
+o1 = ORDER outb BY n DESC;
+t1 = LIMIT o1 2;
+STORE t1 INTO 'out/out';
+gd = GROUP fl BY dst;
+inb = FOREACH gd GENERATE group AS a, COUNT(fl) AS n;
+o2 = ORDER inb BY n DESC;
+t2 = LIMIT o2 2;
+STORE t2 INTO 'out/in';
+both = UNION outb, inb;
+gb = GROUP both BY a;
+all = FOREACH gb GENERATE group AS a, SUM(both.n) AS n;
+o3 = ORDER all BY n DESC;
+t3 = LIMIT o3 2;
+STORE t3 INTO 'out/all';
+`
+
+func TestStrongCandidatesAirline(t *testing.T) {
+	p := parse(t, airlineStyle)
+	a := Analyze(p, nil)
+	cands := a.Candidates(Strong)
+	got := map[string]bool{}
+	for _, id := range cands {
+		got[p.ByID(id).Alias] = true
+	}
+	// Union is map-side of gb's job with no shuffle ancestor on the
+	// direct path? both's parents are reduce-side outputs, so both IS
+	// downstream of shuffles and feeds a shuffle: it must be a candidate
+	// only if it materializes. UNION never materializes alone (it
+	// flattens into its consumer's inputs), so it must NOT be present.
+	if got["both"] {
+		t.Error("UNION should not be a strong candidate (it never materializes)")
+	}
+	for _, alias := range []string{"outb", "inb", "all", "t1", "t2", "t3"} {
+		if !got[alias] {
+			t.Errorf("expected %q among strong candidates, got %v", alias, got)
+		}
+	}
+	// Loads and plain orders mid-job are not materialization points.
+	if got["fl"] || got["o1"] || got["o2"] || got["o3"] {
+		t.Errorf("unexpected candidates present: %v", got)
+	}
+}
+
+func TestMarkWithFinalSeedsPrefersIntermediate(t *testing.T) {
+	p := parse(t, airlineStyle)
+	a := Analyze(p, nil)
+	var finals []int
+	for _, st := range p.Stores() {
+		finals = append(finals, st.Parents[0].ID)
+	}
+	marks := a.Mark(2, Strong, finals...)
+	if len(marks) != 2 {
+		t.Fatalf("marks = %v", marks)
+	}
+	for _, id := range marks {
+		alias := p.ByID(id).Alias
+		if alias == "t1" || alias == "t2" || alias == "t3" {
+			t.Errorf("marker picked already-verified final %q", alias)
+		}
+	}
+}
+
+func TestMarkSeedsNeverReselected(t *testing.T) {
+	p := parse(t, chainScript)
+	a := Analyze(p, nil)
+	fe := p.ByAlias("counts").ID
+	marks := a.Mark(10, Weak, fe)
+	for _, m := range marks {
+		if m == fe {
+			t.Error("seeded vertex must not be re-marked")
+		}
+	}
+	// All other weak candidates still selectable.
+	if len(marks) != 3 {
+		t.Errorf("marks = %v, want the 3 remaining candidates", marks)
+	}
+}
+
+func TestUnionPlanLevels(t *testing.T) {
+	p := parse(t, airlineStyle)
+	levels := Levels(p)
+	// both sits one past the deeper of outb/inb.
+	both := p.ByAlias("both")
+	outb := p.ByAlias("outb")
+	if levels[both.ID] != levels[outb.ID]+1 {
+		t.Errorf("level(both) = %d, level(outb) = %d", levels[both.ID], levels[outb.ID])
+	}
+}
+
+func TestSampleVertexIsWeakCandidate(t *testing.T) {
+	p := parse(t, `
+a = LOAD 'x' AS (k, v:int);
+s = SAMPLE a 0.5;
+g = GROUP s BY k;
+c = FOREACH g GENERATE group, COUNT(s);
+STORE c INTO 'o';
+`)
+	a := Analyze(p, nil)
+	got := map[string]bool{}
+	for _, id := range a.Candidates(Weak) {
+		got[p.ByID(id).Alias] = true
+	}
+	if !got["s"] {
+		t.Errorf("SAMPLE vertex missing from weak candidates: %v", got)
+	}
+}

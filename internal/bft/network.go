@@ -1,0 +1,139 @@
+package bft
+
+import (
+	"container/heap"
+)
+
+// Handler consumes messages delivered by the network.
+type Handler interface {
+	Receive(from ID, msg Message)
+}
+
+// netEvent is a pending delivery or timer.
+type netEvent struct {
+	at  int64
+	seq int64
+	fn  func()
+}
+
+type netHeap []netEvent
+
+func (h netHeap) Len() int { return len(h) }
+func (h netHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h netHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *netHeap) Push(x any)   { *h = append(*h, x.(netEvent)) }
+func (h *netHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Network is a deterministic virtual-time message bus. Delivery order is
+// fully determined by send order and the Delay/Drop policies, making
+// protocol tests reproducible. All handlers run on the driving goroutine.
+type Network struct {
+	now    int64
+	seq    int64
+	events netHeap
+	nodes  map[ID]Handler
+
+	// Delay returns the virtual-microsecond latency for a message;
+	// defaults to a constant 1000 (1ms) when nil.
+	Delay func(from, to ID) int64
+	// Drop reports whether to silently lose a message; nil never drops.
+	// Partition faults and silent-replica behaviours are modeled here.
+	Drop func(from, to ID, msg Message) bool
+	// Transform, when set, may replace a message in flight; returning
+	// the input unchanged is a no-op. Byzantine behaviours beyond
+	// silence — equivocation, corrupted votes — are modeled here.
+	Transform func(from, to ID, msg Message) Message
+
+	// Trace, when set, observes every delivered message.
+	Trace func(from, to ID, msg Message)
+
+	delivered int64
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{nodes: make(map[ID]Handler)}
+}
+
+// Register attaches a handler under the given ID, replacing any previous
+// registration.
+func (n *Network) Register(id ID, h Handler) { n.nodes[id] = h }
+
+// Now returns the current virtual time in microseconds.
+func (n *Network) Now() int64 { return n.now }
+
+// Delivered returns the number of messages delivered so far.
+func (n *Network) Delivered() int64 { return n.delivered }
+
+// Send schedules msg for delivery from -> to.
+func (n *Network) Send(from, to ID, msg Message) {
+	if n.Drop != nil && n.Drop(from, to, msg) {
+		return
+	}
+	if n.Transform != nil {
+		msg = n.Transform(from, to, msg)
+	}
+	delay := int64(1000)
+	if n.Delay != nil {
+		delay = n.Delay(from, to)
+	}
+	n.After(delay, func() {
+		h := n.nodes[to]
+		if h == nil {
+			return
+		}
+		n.delivered++
+		if n.Trace != nil {
+			n.Trace(from, to, msg)
+		}
+		h.Receive(from, msg)
+	})
+}
+
+// After schedules fn at now+delayUs.
+func (n *Network) After(delayUs int64, fn func()) {
+	if delayUs < 0 {
+		delayUs = 0
+	}
+	n.seq++
+	heap.Push(&n.events, netEvent{at: n.now + delayUs, seq: n.seq, fn: fn})
+}
+
+// Run processes events until the queue drains or the optional budget of
+// deliveries is exhausted (budget <= 0 means unbounded). It returns the
+// virtual time reached.
+func (n *Network) Run(budget int64) int64 {
+	return n.RunWhile(budget, nil)
+}
+
+// RunWhile is Run with an additional stop condition checked before each
+// event: processing halts as soon as cond returns false. Pending events
+// (retransmission timers, in-flight messages) stay queued for the next
+// Run, so the virtual clock reflects when the condition was met rather
+// than when the queue drained.
+func (n *Network) RunWhile(budget int64, cond func() bool) int64 {
+	start := n.delivered
+	for len(n.events) > 0 {
+		if cond != nil && !cond() {
+			break
+		}
+		if budget > 0 && n.delivered-start >= budget {
+			break
+		}
+		ev := heap.Pop(&n.events).(netEvent)
+		n.now = ev.at
+		ev.fn()
+	}
+	return n.now
+}

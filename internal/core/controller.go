@@ -1,0 +1,743 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"clusterbft/internal/analyze"
+	"clusterbft/internal/cluster"
+	"clusterbft/internal/digest"
+	"clusterbft/internal/mapred"
+	"clusterbft/internal/pig"
+)
+
+// Config parameterizes one ClusterBFT request (paper §4.1: the client
+// specifies f, a replication factor r, and n verification points, chosen
+// from perceived threat level).
+type Config struct {
+	// F is the number of simultaneous faults to tolerate.
+	F int
+	// R is the initial replication degree: f+1 (optimistic — may need
+	// re-runs), 2f+1 (safe absent omissions) or 3f+1 (§3.3).
+	R int
+	// Points is n, the number of verification points the graph analyzer
+	// marks; -1 marks every candidate vertex (the "Individual"
+	// configuration of Fig 14).
+	Points int
+	// ForcePointAliases bypasses the marker function and places
+	// verification points at the named relation aliases (used by the
+	// Fig 9/10 sweeps, which vary the instrumented operator).
+	ForcePointAliases []string
+	// Model is the adversary model restricting candidate points.
+	Model analyze.Model
+	// VerifyFinalOnly is the paper's "P" baseline (Table 3): digests only
+	// at final outputs, so any fault re-runs the whole script.
+	VerifyFinalOnly bool
+	// DigestChunk is d, records per digest (§6.4); <= 0 digests whole
+	// streams.
+	DigestChunk int
+	// NumReduces is the reduce parallelism handed to the compiler.
+	NumReduces int
+	// TimeoutUs is the verifier timeout for one sub-graph attempt; on
+	// expiry the sub-graph is re-initiated with r+1 replicas and twice
+	// the timeout (§4.2 step 6).
+	TimeoutUs int64
+	// MaxAttempts bounds re-initiations per sub-graph.
+	MaxAttempts int
+	// Offline enables approximate offline comparison (§3.3): follow-up
+	// sub-graphs start on the first completed replica's output before
+	// verification finishes, and are restarted if that replica turns out
+	// deviant.
+	Offline bool
+	// SuspicionThreshold evicts nodes from the inclusion list (§4.2);
+	// <= 0 disables eviction.
+	SuspicionThreshold float64
+}
+
+// DefaultConfig mirrors the paper's common setup: f=1, full BFT
+// replication, two verification points, weak adversary, offline
+// comparison.
+func DefaultConfig() Config {
+	return Config{
+		F:           1,
+		R:           4,
+		Points:      2,
+		Model:       analyze.Weak,
+		DigestChunk: 0,
+		NumReduces:  2,
+		TimeoutUs:   600_000_000, // 10 virtual minutes
+		MaxAttempts: 6,
+		Offline:     true,
+	}
+}
+
+// Result summarizes one assured script execution.
+type Result struct {
+	// Verified is true when every sub-graph reached f+1 agreement.
+	Verified bool
+	// LatencyUs is the virtual time from submission until the last final
+	// sub-graph verified.
+	LatencyUs int64
+	// Outputs maps each STORE path of the script to the DFS location of
+	// the verified winner replica's output.
+	Outputs map[string]string
+	// Attempts counts sub-graph attempts across the run (1 per cluster
+	// when nothing fails).
+	Attempts int
+	// Clusters is the number of replicated sub-graphs.
+	Clusters int
+	// PointsUsed are the verification-point vertex IDs.
+	PointsUsed []int
+	// FaultyReplicas counts replicas whose digests deviated.
+	FaultyReplicas int
+	// Suspects is the fault analyzer's final suspicion set.
+	Suspects []cluster.NodeID
+	// DigestReports counts digests the verifier received.
+	DigestReports int64
+	// Metrics snapshots the engine counters over the run.
+	Metrics mapred.Metrics
+}
+
+// sourceRef records which upstream replica's output a sub-graph attempt
+// consumed.
+type sourceRef struct {
+	sid      string
+	replica  int
+	prefix   string
+	verified bool
+}
+
+type repState struct {
+	idx       int
+	prefix    string
+	jobIDs    []string
+	done      int
+	completed bool
+	faulty    bool
+	nodes     NodeSet
+}
+
+type clusterState struct {
+	id       int
+	jobs     []*mapred.JobSpec // templates, topological
+	upstream []int
+	terminal bool
+
+	attempt    int
+	totalTries int
+	r          int
+	timeoutUs  int64
+	sid        string
+	launched   bool
+	verified   bool
+	failed     bool
+	verifiedAt int64
+	winner     int
+	winnerFP   digest.Sum
+	sources    map[int]sourceRef
+	replicas   []*repState
+}
+
+// Controller is the trusted control tier: request handler + verifier +
+// resource-manager bookkeeping, driving an untrusted mapred.Engine. A
+// controller owns its engine's callbacks. Suspicion state persists across
+// Run calls, which is how fault isolation sharpens over a stream of jobs.
+type Controller struct {
+	Eng  *mapred.Engine
+	Cfg  Config
+	Susp *SuspicionTable
+	FA   *FaultAnalyzer
+
+	matcher *Matcher
+	runSeq  int
+	reports int64
+
+	// run-scoped state
+	clusterOf  map[string]int // template job ID -> cluster
+	producedBy map[string]string
+	templates  map[string]*mapred.JobSpec
+	clusters   []*clusterState
+	jobRef     map[string][2]int // engine job ID -> (cluster, replica)
+	sidIndex   map[string]*clusterState
+	attempts   int
+	faultyReps int
+	runErr     error
+}
+
+// NewController wires a controller to an engine. susp and fa may be nil
+// for fresh state.
+func NewController(eng *mapred.Engine, cfg Config, susp *SuspicionTable, fa *FaultAnalyzer) *Controller {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 6
+	}
+	if cfg.Model == 0 {
+		cfg.Model = analyze.Weak
+	}
+	if susp == nil {
+		susp = NewSuspicionTable(cfg.SuspicionThreshold)
+	}
+	if fa == nil {
+		fa = NewFaultAnalyzer(cfg.F)
+	}
+	c := &Controller{Eng: eng, Cfg: cfg, Susp: susp, FA: fa, matcher: NewMatcher(cfg.F)}
+	eng.DigestChunk = cfg.DigestChunk
+	eng.DigestSink = c.onDigest
+	eng.OnJobDone = c.onJobDone
+	return c
+}
+
+// Run executes one script under BFT protection and blocks until the
+// simulation drains.
+func (c *Controller) Run(script string) (*Result, error) {
+	plan, err := pig.Parse(script)
+	if err != nil {
+		return nil, err
+	}
+	points := c.choosePoints(plan)
+	jobs, err := mapred.Compile(plan, mapred.CompileOptions{
+		Points:     points,
+		NumReduces: c.Cfg.NumReduces,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.runSeq++
+	c.initRun(jobs, points)
+
+	start := c.Eng.Now()
+	for _, cs := range c.clusters {
+		if len(cs.upstream) == 0 {
+			c.tryLaunch(cs)
+		}
+	}
+	c.Eng.Run()
+	if c.runErr != nil {
+		return nil, c.runErr
+	}
+
+	res := &Result{
+		Verified:       true,
+		Outputs:        make(map[string]string),
+		Attempts:       c.attempts,
+		Clusters:       len(c.clusters),
+		PointsUsed:     points,
+		FaultyReplicas: c.faultyReps,
+		Suspects:       c.FA.Suspects(),
+		DigestReports:  c.reports,
+		Metrics:        c.Eng.Metrics,
+	}
+	for _, cs := range c.clusters {
+		if !cs.verified {
+			res.Verified = false
+			continue
+		}
+		if cs.terminal && cs.verifiedAt-start > res.LatencyUs {
+			res.LatencyUs = cs.verifiedAt - start
+		}
+		winPrefix := cs.replicas[cs.winner].prefix
+		for _, j := range cs.jobs {
+			if j.Final {
+				res.Outputs[j.Output] = winPrefix + "/" + j.Output
+			}
+		}
+	}
+	if !res.Verified {
+		return res, fmt.Errorf("core: run ended with unverified sub-graphs")
+	}
+	return res, nil
+}
+
+// choosePoints runs the graph analyzer. Final outputs are always
+// verified; VerifyFinalOnly stops there (the P baseline), otherwise the
+// marker function adds the client's n points (§4.1).
+func (c *Controller) choosePoints(plan *pig.Plan) []int {
+	set := make(map[int]bool)
+	for _, st := range plan.Stores() {
+		set[st.Parents[0].ID] = true
+	}
+	switch {
+	case c.Cfg.VerifyFinalOnly:
+		// final outputs only (the P / Full baselines)
+	case len(c.Cfg.ForcePointAliases) > 0:
+		for _, alias := range c.Cfg.ForcePointAliases {
+			if v := plan.ByAlias(alias); v != nil {
+				set[v.ID] = true
+			}
+		}
+	case c.Cfg.Points < 0:
+		a := analyze.Analyze(plan, c.sizeOf)
+		for _, p := range a.Candidates(c.Cfg.Model) {
+			set[p] = true
+		}
+	case c.Cfg.Points > 0:
+		a := analyze.Analyze(plan, c.sizeOf)
+		// Final outputs are already verified; seed them into the marker
+		// so the n explicit points land mid-flow (Fig 4's tradeoff).
+		finals := make([]int, 0, len(set))
+		for id := range set {
+			finals = append(finals, id)
+		}
+		sort.Ints(finals)
+		for _, p := range a.Mark(c.Cfg.Points, c.Cfg.Model, finals...) {
+			set[p] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (c *Controller) sizeOf(path string) int64 {
+	if n, err := c.Eng.FS.Size(path); err == nil {
+		return n
+	}
+	return c.Eng.FS.TreeSize(path)
+}
+
+// initRun groups compiled jobs into sub-graphs: the job DAG is cut below
+// every job materializing a verification point, and each connected
+// component becomes one replicated cluster (§3.3 "variable granularity").
+func (c *Controller) initRun(jobs []*mapred.JobSpec, points []int) {
+	pointSet := make(map[int]bool, len(points))
+	for _, p := range points {
+		pointSet[p] = true
+	}
+	c.templates = make(map[string]*mapred.JobSpec, len(jobs))
+	c.producedBy = make(map[string]string, len(jobs))
+	for _, j := range jobs {
+		c.templates[j.ID] = j
+		c.producedBy[j.Output] = j.ID
+	}
+	boundary := func(id string) bool {
+		j := c.templates[id]
+		return j != nil && pointSet[j.OutVertex]
+	}
+	// Union-find over job IDs, skipping edges out of boundary jobs.
+	parent := make(map[string]string, len(jobs))
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == x {
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	for _, j := range jobs {
+		parent[j.ID] = j.ID
+	}
+	for _, j := range jobs {
+		for _, d := range j.Deps {
+			if !boundary(d) {
+				parent[find(j.ID)] = find(d)
+			}
+		}
+	}
+	c.clusterOf = make(map[string]int, len(jobs))
+	c.clusters = nil
+	rootIdx := make(map[string]int)
+	for _, j := range jobs { // template order is topological
+		root := find(j.ID)
+		idx, ok := rootIdx[root]
+		if !ok {
+			idx = len(c.clusters)
+			rootIdx[root] = idx
+			c.clusters = append(c.clusters, &clusterState{
+				id:        idx,
+				r:         c.Cfg.R,
+				timeoutUs: c.Cfg.TimeoutUs,
+				sources:   make(map[int]sourceRef),
+			})
+		}
+		c.clusterOf[j.ID] = idx
+		cs := c.clusters[idx]
+		cs.jobs = append(cs.jobs, j)
+		if j.Final {
+			cs.terminal = true
+		}
+	}
+	for _, j := range jobs {
+		jc := c.clusterOf[j.ID]
+		for _, d := range j.Deps {
+			if dc := c.clusterOf[d]; dc != jc {
+				if !contains(c.clusters[jc].upstream, dc) {
+					c.clusters[jc].upstream = append(c.clusters[jc].upstream, dc)
+				}
+			}
+		}
+	}
+	c.jobRef = make(map[string][2]int)
+	c.sidIndex = make(map[string]*clusterState)
+	c.attempts = 0
+	c.faultyReps = 0
+	c.reports = 0
+	c.runErr = nil
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// sourcesReady reports whether every upstream sub-graph can supply input:
+// a verified winner, or (offline mode) any completed replica.
+func (c *Controller) sourcesReady(cs *clusterState) bool {
+	for _, u := range cs.upstream {
+		up := c.clusters[u]
+		if up.verified {
+			continue
+		}
+		if !c.Cfg.Offline {
+			return false
+		}
+		if up.failed || firstCompleted(up) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// firstCompleted picks the optimistic source replica: the first
+// completed one the online digest comparison has not already flagged as
+// deviant (consuming a known-corrupt output would guarantee a restart).
+func firstCompleted(cs *clusterState) int {
+	for _, rs := range cs.replicas {
+		if rs.completed && !rs.faulty {
+			return rs.idx
+		}
+	}
+	return -1
+}
+
+// tryLaunch starts a sub-graph attempt once its inputs are available.
+func (c *Controller) tryLaunch(cs *clusterState) {
+	if cs.launched || cs.verified || cs.failed || !c.sourcesReady(cs) {
+		return
+	}
+	cs.launched = true
+	cs.totalTries++
+	c.attempts++
+	cs.sid = fmt.Sprintf("run%d-c%d-a%d", c.runSeq, cs.id, cs.attempt)
+	c.sidIndex[cs.sid] = cs
+	cs.sources = make(map[int]sourceRef)
+	for _, u := range cs.upstream {
+		up := c.clusters[u]
+		if up.verified {
+			cs.sources[u] = sourceRef{
+				sid: up.sid, replica: up.winner,
+				prefix: up.replicas[up.winner].prefix, verified: true,
+			}
+		} else {
+			rep := firstCompleted(up)
+			cs.sources[u] = sourceRef{
+				sid: up.sid, replica: rep,
+				prefix: up.replicas[rep].prefix,
+			}
+		}
+	}
+	cs.replicas = make([]*repState, cs.r)
+	for rep := 0; rep < cs.r; rep++ {
+		rs := &repState{idx: rep, nodes: make(NodeSet)}
+		rs.prefix = fmt.Sprintf("x/%s/r%d", cs.sid, rep)
+		cs.replicas[rep] = rs
+		for _, tmpl := range cs.jobs {
+			spec := c.rewriteJob(cs, rs, tmpl)
+			rs.jobIDs = append(rs.jobIDs, spec.ID)
+			c.jobRef[spec.ID] = [2]int{cs.id, rep}
+			if _, err := c.Eng.Submit(spec); err != nil {
+				c.fail(fmt.Errorf("core: submit %s: %w", spec.ID, err))
+				return
+			}
+		}
+	}
+	sid := cs.sid
+	c.Eng.After(cs.timeoutUs, func() { c.onTimeout(cs, sid) })
+}
+
+// rewriteJob clones a template for one replica of one attempt, rewriting
+// paths, IDs and dependencies into the replica's namespace; inputs
+// produced by upstream sub-graphs point at the chosen source replica.
+func (c *Controller) rewriteJob(cs *clusterState, rs *repState, tmpl *mapred.JobSpec) *mapred.JobSpec {
+	spec := tmpl.Clone()
+	spec.ID = rs.prefix + "/" + tmpl.ID
+	spec.SID = cs.sid
+	spec.Replica = rs.idx
+	spec.Output = rs.prefix + "/" + tmpl.Output
+	var deps []string
+	for _, d := range tmpl.Deps {
+		if c.clusterOf[d] == cs.id {
+			deps = append(deps, rs.prefix+"/"+d)
+		}
+		// Cross-cluster deps are satisfied by data availability: the
+		// source replica completed before this attempt launched.
+	}
+	spec.Deps = deps
+	for i := range spec.Inputs {
+		path := spec.Inputs[i].Path
+		prod, ok := c.producedBy[path]
+		if !ok {
+			continue // raw script input from trusted storage
+		}
+		if c.clusterOf[prod] == cs.id {
+			spec.Inputs[i].Path = rs.prefix + "/" + path
+		} else {
+			src := cs.sources[c.clusterOf[prod]]
+			spec.Inputs[i].Path = src.prefix + "/" + path
+		}
+	}
+	return spec
+}
+
+func (c *Controller) fail(err error) {
+	if c.runErr == nil {
+		c.runErr = err
+	}
+}
+
+// onDigest stores digests as they stream in from the untrusted tier and
+// runs the approximate online comparison (§3.3): as soon as f+1 replicas
+// agree on a chunk, any replica reporting a different sum for it is a
+// commission fault — detected before the sub-job completes, and even if
+// that replica is later cancelled.
+func (c *Controller) onDigest(r digest.Report) {
+	c.reports++
+	c.matcher.Add(r)
+	cs := c.sidIndex[r.Key.SID]
+	if cs == nil || cs.sid != r.Key.SID {
+		return
+	}
+	for _, rep := range c.matcher.KeyDeviants(cs.sid) {
+		if rep < len(cs.replicas) {
+			c.markFaulty(cs, cs.replicas[rep])
+		}
+	}
+}
+
+// onJobDone advances replica completion and verification.
+func (c *Controller) onJobDone(js *mapred.JobState) {
+	ref, ok := c.jobRef[js.Spec.ID]
+	if !ok {
+		return
+	}
+	cs := c.clusters[ref[0]]
+	if js.Spec.SID != cs.sid {
+		return // stale attempt
+	}
+	rs := cs.replicas[ref[1]]
+	for n := range js.Nodes {
+		rs.nodes[n] = true
+	}
+	rs.done++
+	if rs.done < len(cs.jobs) {
+		return
+	}
+	rs.completed = true
+	c.Susp.RecordJob(rs.nodes.Sorted())
+	c.checkVerify(cs)
+	if c.Cfg.Offline && !cs.verified {
+		for _, d := range c.clusters {
+			if contains(d.upstream, cs.id) {
+				c.tryLaunch(d)
+			}
+		}
+	}
+}
+
+// checkVerify applies the offline comparison rule: f+1 completed replicas
+// with identical digest vectors verify the sub-graph; deviants are
+// commission faults (§4.1, §4.3).
+func (c *Controller) checkVerify(cs *clusterState) {
+	if cs.verified {
+		return
+	}
+	var completed []int
+	for _, rs := range cs.replicas {
+		if rs.completed {
+			completed = append(completed, rs.idx)
+		}
+	}
+	majority, deviants, ok := c.matcher.Agreement(cs.sid, completed)
+	if !ok {
+		if len(completed) == cs.r {
+			// Everyone replied and still no f+1 agreement: rerun with a
+			// higher replication degree.
+			c.retry(cs, false)
+		}
+		return
+	}
+	cs.verified = true
+	cs.verifiedAt = c.Eng.Now()
+	cs.winner = majority[0]
+	cs.winnerFP = c.matcher.Fingerprint(cs.sid, cs.winner)
+	for _, rep := range deviants {
+		c.markFaulty(cs, cs.replicas[rep])
+	}
+	// Unfinished replicas are no longer needed; their slots free up.
+	for _, rs := range cs.replicas {
+		if !rs.completed {
+			c.killReplica(rs)
+		}
+	}
+	// Propagate downstream: restart consumers that optimistically read a
+	// deviant replica, launch the rest.
+	for _, d := range c.clusters {
+		if !contains(d.upstream, cs.id) {
+			continue
+		}
+		src, launched := d.sources[cs.id]
+		if launched && d.launched && !c.sourceMatchesWinner(cs, src) {
+			c.restart(d)
+		}
+		c.tryLaunch(d)
+	}
+}
+
+// sourceMatchesWinner reports whether a consumed source replica produced
+// the same digest vector as the verified winner (same attempt or not).
+func (c *Controller) sourceMatchesWinner(cs *clusterState, src sourceRef) bool {
+	if src.verified || (src.sid == cs.sid && src.replica == cs.winner) {
+		return true
+	}
+	return c.matcher.Fingerprint(src.sid, src.replica) == cs.winnerFP
+}
+
+// liveNodes unions the nodes recorded at replica-job completion with the
+// engine's live view (tasks assigned to still-running or hung jobs), so
+// omission faults attribute to the nodes actually involved.
+func (c *Controller) liveNodes(rs *repState) NodeSet {
+	s := rs.nodes.Clone()
+	for _, id := range rs.jobIDs {
+		if js := c.Eng.Job(id); js != nil {
+			for n := range js.Nodes {
+				s[n] = true
+			}
+		}
+	}
+	return s
+}
+
+// markFaulty records a commission-faulty replica: suspicion for every
+// node in its job cluster and a report to the fault analyzer.
+func (c *Controller) markFaulty(cs *clusterState, rs *repState) {
+	if rs.faulty {
+		return
+	}
+	rs.faulty = true
+	c.faultyReps++
+	nodes := c.liveNodes(rs)
+	c.Susp.RecordFault(nodes.Sorted())
+	c.FA.Report(nodes)
+}
+
+func (c *Controller) killReplica(rs *repState) {
+	for _, id := range rs.jobIDs {
+		c.Eng.KillJob(id)
+	}
+}
+
+// retry re-initiates a sub-graph with r+1 replicas and a doubled timeout
+// (§4.2 step 6). omission marks incomplete replicas' nodes suspicious
+// first (timeout path).
+func (c *Controller) retry(cs *clusterState, omission bool) {
+	if cs.verified || cs.failed {
+		return
+	}
+	if omission {
+		for _, rs := range cs.replicas {
+			if rs.completed {
+				continue
+			}
+			if nodes := c.liveNodes(rs); len(nodes) > 0 {
+				c.Susp.RecordFault(nodes.Sorted())
+			}
+		}
+	}
+	for _, rs := range cs.replicas {
+		c.killReplica(rs)
+	}
+	if cs.totalTries >= c.Cfg.MaxAttempts {
+		cs.failed = true
+		c.fail(fmt.Errorf("core: sub-graph c%d exhausted %d attempts", cs.id, cs.totalTries))
+		return
+	}
+	cs.attempt++
+	cs.r++
+	cs.timeoutUs *= 2
+	cs.launched = false
+	c.tryLaunch(cs)
+}
+
+// restart re-runs a sub-graph (same r) because its optimistic input came
+// from a replica later found deviant; consumers restart transitively.
+func (c *Controller) restart(cs *clusterState) {
+	if cs.failed {
+		return
+	}
+	for _, rs := range cs.replicas {
+		c.killReplica(rs)
+	}
+	wasLaunched := cs.launched
+	cs.verified = false
+	cs.launched = false
+	if wasLaunched {
+		cs.attempt++
+		if cs.totalTries >= c.Cfg.MaxAttempts {
+			cs.failed = true
+			c.fail(fmt.Errorf("core: sub-graph c%d exhausted %d attempts", cs.id, cs.totalTries))
+			return
+		}
+	}
+	for _, d := range c.clusters {
+		if contains(d.upstream, cs.id) && d.launched {
+			c.restart(d)
+		}
+	}
+	c.tryLaunch(cs)
+}
+
+// onTimeout fires when a sub-graph attempt exceeds the verifier timeout.
+func (c *Controller) onTimeout(cs *clusterState, sid string) {
+	if cs.sid != sid || cs.verified || cs.failed || !cs.launched {
+		return
+	}
+	c.retry(cs, true)
+}
+
+// RunPlain executes a script without replication or verification — the
+// "Pure Pig" baseline of §6.1 — and returns the virtual latency.
+func RunPlain(eng *mapred.Engine, script string) (int64, error) {
+	plan, err := pig.Parse(script)
+	if err != nil {
+		return 0, err
+	}
+	jobs, err := mapred.Compile(plan, mapred.CompileOptions{NumReduces: 2})
+	if err != nil {
+		return 0, err
+	}
+	start := eng.Now()
+	states := make([]*mapred.JobState, 0, len(jobs))
+	for _, j := range jobs {
+		js, err := eng.Submit(j)
+		if err != nil {
+			return 0, err
+		}
+		states = append(states, js)
+	}
+	eng.Run()
+	var end int64
+	for _, js := range states {
+		if !js.Done {
+			return 0, fmt.Errorf("core: plain job %s incomplete", js.Spec.ID)
+		}
+		if js.DoneTime > end {
+			end = js.DoneTime
+		}
+	}
+	return end - start, nil
+}

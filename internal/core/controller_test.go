@@ -1,0 +1,414 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"clusterbft/internal/analyze"
+	"clusterbft/internal/cluster"
+	"clusterbft/internal/dfs"
+	"clusterbft/internal/mapred"
+)
+
+const weatherScript = `
+w = LOAD 'data/weather' AS (st, temp:int);
+g1 = GROUP w BY st;
+avgs = FOREACH g1 GENERATE group AS st, AVG(w.temp) AS a;
+g2 = GROUP avgs BY a;
+counts = FOREACH g2 GENERATE group AS a, COUNT(avgs) AS n;
+STORE counts INTO 'out/counts';
+`
+
+func weatherData(n int) []string {
+	var lines []string
+	for i := 0; i < n; i++ {
+		lines = append(lines, fmt.Sprintf("st%02d\t%d", i%10, (i*37)%40))
+	}
+	return lines
+}
+
+type harness struct {
+	fs   *dfs.FS
+	cl   *cluster.Cluster
+	eng  *mapred.Engine
+	ctrl *Controller
+}
+
+func newHarness(t *testing.T, nodes, slots int, cfg Config) *harness {
+	t.Helper()
+	fs := dfs.New()
+	fs.Append("data/weather", weatherData(2000)...)
+	cl := cluster.New(nodes, slots)
+	susp := NewSuspicionTable(cfg.SuspicionThreshold)
+	eng := mapred.NewEngine(fs, cl, NewOverlapScheduler(susp), mapred.DefaultCostModel())
+	ctrl := NewController(eng, cfg, susp, nil)
+	return &harness{fs: fs, cl: cl, eng: eng, ctrl: ctrl}
+}
+
+func (h *harness) outputLines(t *testing.T, res *Result, store string) []string {
+	t.Helper()
+	path, ok := res.Outputs[store]
+	if !ok {
+		t.Fatalf("no output mapping for %q: %v", store, res.Outputs)
+	}
+	lines, err := h.fs.ReadTree(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+func TestControllerHonestRun(t *testing.T) {
+	h := newHarness(t, 16, 3, DefaultConfig())
+	res, err := h.ctrl.Run(weatherScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("run not verified")
+	}
+	if res.Clusters < 2 {
+		t.Errorf("expected >= 2 sub-graphs with 2 points, got %d", res.Clusters)
+	}
+	if res.Attempts != res.Clusters {
+		t.Errorf("honest run should need exactly one attempt per cluster: %d vs %d", res.Attempts, res.Clusters)
+	}
+	if res.FaultyReplicas != 0 || len(res.Suspects) != 0 {
+		t.Errorf("no faults expected: %+v", res)
+	}
+	if res.LatencyUs <= 0 {
+		t.Error("latency not measured")
+	}
+	if len(h.outputLines(t, res, "out/counts")) == 0 {
+		t.Error("no output records")
+	}
+}
+
+func TestControllerOutputMatchesPlainRun(t *testing.T) {
+	h := newHarness(t, 16, 3, DefaultConfig())
+	res, err := h.ctrl.Run(weatherScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bftOut := h.outputLines(t, res, "out/counts")
+
+	fs2 := dfs.New()
+	fs2.Append("data/weather", weatherData(2000)...)
+	eng2 := mapred.NewEngine(fs2, cluster.New(16, 3), nil, mapred.DefaultCostModel())
+	if _, err := RunPlain(eng2, weatherScript); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := fs2.ReadTree("out/counts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(plain)
+	if strings.Join(bftOut, "|") != strings.Join(plain, "|") {
+		t.Errorf("BFT output differs from plain run:\n%v\nvs\n%v", bftOut, plain)
+	}
+}
+
+func TestControllerSingleExecution(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.F = 0
+	cfg.R = 1
+	h := newHarness(t, 8, 2, cfg)
+	res, err := h.ctrl.Run(weatherScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified || res.FaultyReplicas != 0 {
+		t.Errorf("single execution should verify trivially: %+v", res)
+	}
+}
+
+func TestControllerDetectsCommissionFault(t *testing.T) {
+	cfg := DefaultConfig() // r=4, f=1
+	h := newHarness(t, 16, 3, cfg)
+	if err := h.cl.SetAdversary("node-003", cluster.FaultCommission, 1.0, 11); err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.ctrl.Run(weatherScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("r=4 should verify despite one faulty node")
+	}
+	if res.FaultyReplicas == 0 {
+		t.Error("faulty replica not detected")
+	}
+	// Every deviant replica's cluster contains the bad node, so the
+	// suspicion set must include it.
+	found := false
+	for _, s := range res.Suspects {
+		if s == "node-003" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("suspects %v do not include the faulty node", res.Suspects)
+	}
+	if h.ctrl.Susp.Level("node-003") == 0 {
+		t.Error("suspicion level of faulty node is zero")
+	}
+	// Output still correct.
+	if len(h.outputLines(t, res, "out/counts")) == 0 {
+		t.Error("no verified output")
+	}
+}
+
+func TestControllerOptimisticR2Retries(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.R = 2 // optimistic f+1: one commission fault forces a re-run
+	h := newHarness(t, 16, 3, cfg)
+	if err := h.cl.SetAdversary("node-001", cluster.FaultCommission, 1.0, 7); err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.ctrl.Run(weatherScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("retry should eventually verify")
+	}
+	if res.Attempts <= res.Clusters {
+		t.Errorf("expected re-initiated sub-graphs: attempts=%d clusters=%d", res.Attempts, res.Clusters)
+	}
+}
+
+func TestControllerTimeoutOnOmission(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.R = 2
+	cfg.TimeoutUs = 60_000_000
+	h := newHarness(t, 6, 2, cfg)
+	// Omission faults: some replica hangs, the verifier timeout fires,
+	// and the sub-graph is re-initiated with r+1 and a doubled timeout
+	// (Table 3, r=3 case 2 behaviour). Several nodes omit with p=0.5 so
+	// hitting one does not depend on exact task placement.
+	for i, n := range []cluster.NodeID{"node-000", "node-001", "node-002"} {
+		if err := h.cl.SetAdversary(n, cluster.FaultOmission, 0.9, int64(40+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := h.ctrl.Run(weatherScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("timeout path should recover")
+	}
+	if res.Attempts <= res.Clusters {
+		t.Error("omission should force at least one re-initiation")
+	}
+	suspected := false
+	for _, n := range []cluster.NodeID{"node-000", "node-001", "node-002"} {
+		if h.ctrl.Susp.Level(n) > 0 {
+			suspected = true
+		}
+	}
+	if !suspected {
+		t.Error("no omission node was suspected")
+	}
+}
+
+func TestControllerCvsPRecomputationAdvantage(t *testing.T) {
+	// Table 3's shape: with a commission fault and optimistic r=2,
+	// ClusterBFT (intermediate points) re-runs only the failed
+	// sub-graph, while P (final-only) re-runs the whole pipeline, so
+	// C's latency multiplier is lower.
+	runWith := func(finalOnly bool) int64 {
+		cfg := DefaultConfig()
+		cfg.R = 2
+		cfg.VerifyFinalOnly = finalOnly
+		h := newHarness(t, 20, 3, cfg)
+		if err := h.cl.SetAdversary("node-002", cluster.FaultCommission, 1.0, 13); err != nil {
+			t.Fatal(err)
+		}
+		res, err := h.ctrl.Run(weatherScript)
+		if err != nil {
+			t.Fatalf("finalOnly=%v: %v", finalOnly, err)
+		}
+		if !res.Verified {
+			t.Fatalf("finalOnly=%v not verified", finalOnly)
+		}
+		return res.LatencyUs
+	}
+	c := runWith(false)
+	p := runWith(true)
+	if c >= p {
+		t.Errorf("ClusterBFT latency %d should beat final-only %d under recomputation", c, p)
+	}
+}
+
+func TestControllerVerifyFinalOnlySingleCluster(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VerifyFinalOnly = true
+	h := newHarness(t, 16, 3, cfg)
+	res, err := h.ctrl.Run(weatherScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clusters != 1 {
+		t.Errorf("final-only verification should form one cluster, got %d", res.Clusters)
+	}
+}
+
+func TestControllerConservativeMode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Offline = false
+	h := newHarness(t, 16, 3, cfg)
+	res, err := h.ctrl.Run(weatherScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Error("conservative mode failed")
+	}
+}
+
+func TestControllerOfflineFasterOrEqual(t *testing.T) {
+	lat := func(offline bool) int64 {
+		cfg := DefaultConfig()
+		cfg.Offline = offline
+		h := newHarness(t, 16, 3, cfg)
+		res, err := h.ctrl.Run(weatherScript)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.LatencyUs
+	}
+	off, cons := lat(true), lat(false)
+	if off > cons {
+		t.Errorf("offline (optimistic) latency %d should be <= conservative %d", off, cons)
+	}
+}
+
+func TestControllerSuspicionExclusionEvictsNode(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SuspicionThreshold = 0.5
+	h := newHarness(t, 16, 3, cfg)
+	if err := h.cl.SetAdversary("node-004", cluster.FaultCommission, 1.0, 3); err != nil {
+		t.Fatal(err)
+	}
+	// Run several scripts; the bad node should eventually be excluded.
+	for i := 0; i < 3; i++ {
+		if _, err := h.ctrl.Run(weatherScript); err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+	if !h.ctrl.Susp.Excluded("node-004") {
+		t.Errorf("faulty node not evicted; level=%v", h.ctrl.Susp.Level("node-004"))
+	}
+}
+
+func TestControllerLatencyOverheadVsPlain(t *testing.T) {
+	// Headline (§6.1 / Fig 9): BFT execution with digests stays within a
+	// modest factor of Pure Pig when replicas run in parallel.
+	cfg := DefaultConfig()
+	h := newHarness(t, 32, 3, cfg)
+	res, err := h.ctrl.Run(weatherScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fs2 := dfs.New()
+	fs2.Append("data/weather", weatherData(2000)...)
+	eng2 := mapred.NewEngine(fs2, cluster.New(32, 3), nil, mapred.DefaultCostModel())
+	plain, err := RunPlain(eng2, weatherScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(res.LatencyUs) / float64(plain)
+	if ratio > 1.75 {
+		t.Errorf("BFT/plain latency ratio %.2f too high (bft=%d plain=%d)", ratio, res.LatencyUs, plain)
+	}
+}
+
+func TestControllerStrongModel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Model = analyze.Strong
+	h := newHarness(t, 16, 3, cfg)
+	res, err := h.ctrl.Run(weatherScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Error("strong-model run failed")
+	}
+}
+
+func TestControllerParseError(t *testing.T) {
+	h := newHarness(t, 4, 2, DefaultConfig())
+	if _, err := h.ctrl.Run("this is not pig;"); err == nil {
+		t.Error("bad script must error")
+	}
+}
+
+func TestRunPlainErrors(t *testing.T) {
+	eng := mapred.NewEngine(dfs.New(), cluster.New(2, 2), nil, mapred.DefaultCostModel())
+	if _, err := RunPlain(eng, "garbage"); err == nil {
+		t.Error("parse error expected")
+	}
+}
+
+func TestOverlapSchedulerExclusion(t *testing.T) {
+	susp := NewSuspicionTable(0.5)
+	susp.RecordJob([]cluster.NodeID{"node-000"})
+	susp.RecordFault([]cluster.NodeID{"node-000"})
+	s := NewOverlapScheduler(susp)
+	node := &cluster.Node{ID: "node-000", Slots: 2}
+	js := &mapred.JobState{Spec: &mapred.JobSpec{ID: "j", SID: "s1"}}
+	task := &mapred.Task{Job: js, Kind: mapred.MapTask}
+	if s.Pick(node, []*mapred.Task{task}) != nil {
+		t.Error("excluded node must get no work")
+	}
+}
+
+func TestOverlapSchedulerReplicaAffinity(t *testing.T) {
+	s := NewOverlapScheduler(nil)
+	node := &cluster.Node{ID: "node-001", Slots: 3}
+	mk := func(sid string) *mapred.Task {
+		return &mapred.Task{Job: &mapred.JobState{Spec: &mapred.JobSpec{ID: sid + "-j", SID: sid}}, Kind: mapred.MapTask}
+	}
+	first := s.Pick(node, []*mapred.Task{mk("a")})
+	if first == nil || first.Job.Spec.SID != "a" {
+		t.Fatal("first pick failed")
+	}
+	// A node already serving sub-graph "a" keeps packing "a" tasks
+	// (replica affinity prevents later replicas being starved of legal
+	// nodes), even when a new SID is on offer.
+	got := s.Pick(node, []*mapred.Task{mk("b"), mk("a")})
+	if got == nil || got.Job.Spec.SID != "a" {
+		t.Errorf("overlap scheduler picked %v, want affine SID a", got)
+	}
+}
+
+func TestOverlapSchedulerNewSIDOverRemote(t *testing.T) {
+	// Among non-hosted SIDs, candidates tie on the overlap score and
+	// locality breaks the tie.
+	s := NewOverlapScheduler(nil)
+	node := &cluster.Node{ID: "node-001", Slots: 3}
+	js1 := &mapred.JobState{Spec: &mapred.JobSpec{ID: "x-j", SID: "x"}}
+	js2 := &mapred.JobState{Spec: &mapred.JobSpec{ID: "y-j", SID: "y"}}
+	remote := &mapred.Task{Job: js1, Kind: mapred.MapTask, Home: "node-009"}
+	local := &mapred.Task{Job: js2, Kind: mapred.MapTask, Home: "node-001"}
+	if got := s.Pick(node, []*mapred.Task{remote, local}); got != local {
+		t.Errorf("picked %v, want the local new-SID task", got)
+	}
+}
+
+func TestOverlapSchedulerLocalityTiebreak(t *testing.T) {
+	s := NewOverlapScheduler(nil)
+	node := &cluster.Node{ID: "node-002", Slots: 1}
+	js := &mapred.JobState{Spec: &mapred.JobSpec{ID: "j", SID: "x"}}
+	remote := &mapred.Task{Job: js, Kind: mapred.MapTask, Index: 0, Home: "node-000"}
+	local := &mapred.Task{Job: js, Kind: mapred.MapTask, Index: 1, Home: "node-002"}
+	got := s.Pick(node, []*mapred.Task{remote, local})
+	if got != local {
+		t.Error("equal-overlap tie should break by locality")
+	}
+}

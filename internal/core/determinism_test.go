@@ -1,0 +1,103 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"clusterbft/internal/cluster"
+	"clusterbft/internal/dfs"
+	"clusterbft/internal/mapred"
+)
+
+// TestControllerFullyDeterministic: two identical controller runs —
+// including a commission fault and the resulting detection — agree on
+// every observable: latency, attempts, suspects, metrics and output
+// bytes.
+func TestControllerFullyDeterministic(t *testing.T) {
+	runOnce := func() (*Result, []string, *harness) {
+		fs := dfs.New()
+		fs.Append("data/weather", weatherData(2000)...)
+		cl := cluster.New(12, 3)
+		if err := cl.SetAdversary("node-004", cluster.FaultCommission, 1.0, 77); err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		susp := NewSuspicionTable(0)
+		eng := mapred.NewEngine(fs, cl, NewOverlapScheduler(susp), mapred.DefaultCostModel())
+		ctrl := NewController(eng, cfg, susp, nil)
+		h := &harness{fs: fs, cl: cl, eng: eng, ctrl: ctrl}
+		res, err := ctrl.Run(weatherScript)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, h.outputLines(t, res, "out/counts"), h
+	}
+	r1, o1, _ := runOnce()
+	r2, o2, _ := runOnce()
+	if r1.LatencyUs != r2.LatencyUs {
+		t.Errorf("latency differs: %d vs %d", r1.LatencyUs, r2.LatencyUs)
+	}
+	if r1.Attempts != r2.Attempts || r1.FaultyReplicas != r2.FaultyReplicas {
+		t.Errorf("attempts/faults differ: %+v vs %+v", r1, r2)
+	}
+	if !reflect.DeepEqual(r1.Suspects, r2.Suspects) {
+		t.Errorf("suspects differ: %v vs %v", r1.Suspects, r2.Suspects)
+	}
+	if r1.Metrics != r2.Metrics {
+		t.Errorf("metrics differ:\n%+v\n%+v", r1.Metrics, r2.Metrics)
+	}
+	if !reflect.DeepEqual(o1, o2) {
+		t.Error("verified outputs differ across identical runs")
+	}
+}
+
+// TestControllerRepeatedRunsAdvanceClock: the virtual clock carries
+// across Run calls on one engine (suspicion history accumulates on a
+// consistent timeline).
+func TestControllerRepeatedRunsAdvanceClock(t *testing.T) {
+	h := newHarness(t, 12, 3, DefaultConfig())
+	if _, err := h.ctrl.Run(weatherScript); err != nil {
+		t.Fatal(err)
+	}
+	t1 := h.eng.Now()
+	if _, err := h.ctrl.Run(weatherScript); err != nil {
+		t.Fatal(err)
+	}
+	if h.eng.Now() <= t1 {
+		t.Errorf("clock did not advance: %d then %d", t1, h.eng.Now())
+	}
+}
+
+// TestMarkProperties: for arbitrary n the marker output is a duplicate-
+// free subset of the candidate set with size min(n, |candidates|).
+func TestMarkProperties(t *testing.T) {
+	h := newHarness(t, 4, 2, DefaultConfig())
+	_ = h
+	// Use the analyze package through the controller's path indirectly:
+	// parse the weather plan and check marker output shape for many n.
+	// (The pure-analyze tests live in internal/analyze; this guards the
+	// controller-facing contract.)
+	for n := 0; n <= 8; n++ {
+		cfg := DefaultConfig()
+		cfg.Points = n
+		h2 := newHarness(t, 8, 2, cfg)
+		res, err := h2.ctrl.Run(weatherScript)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		seen := map[int]bool{}
+		for _, p := range res.PointsUsed {
+			if seen[p] {
+				t.Fatalf("n=%d: duplicate point %d", n, p)
+			}
+			seen[p] = true
+		}
+		// Points include the final output vertex plus at most n marks.
+		if len(res.PointsUsed) > n+1 {
+			t.Errorf("n=%d: %d points used", n, len(res.PointsUsed))
+		}
+		if len(res.PointsUsed) == 0 {
+			t.Errorf("n=%d: final output must always be verified", n)
+		}
+	}
+}

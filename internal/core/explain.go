@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the last run's replication structure: how the job DAG
+// was cut into sub-graphs at the verification points, what each
+// sub-graph contains, where its inputs came from, and how verification
+// went. Valid after Run returns; used by cmd/clusterbft -explain.
+func (c *Controller) Explain() string {
+	if len(c.clusters) == 0 {
+		return "core: no run to explain\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "sub-graphs: %d\n", len(c.clusters))
+	for _, cs := range c.clusters {
+		status := "unverified"
+		switch {
+		case cs.verified:
+			status = fmt.Sprintf("verified at %.2fs (winner replica %d)",
+				float64(cs.verifiedAt)/1e6, cs.winner)
+		case cs.failed:
+			status = "FAILED"
+		}
+		kind := ""
+		if cs.terminal {
+			kind = " [final]"
+		}
+		fmt.Fprintf(&b, "c%d%s: attempts=%d r=%d %s\n", cs.id, kind, cs.totalTries, cs.r, status)
+		if len(cs.upstream) > 0 {
+			fmt.Fprintf(&b, "  reads from: ")
+			for i, u := range cs.upstream {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				src, ok := cs.sources[u]
+				if ok {
+					fmt.Fprintf(&b, "c%d (replica %d", u, src.replica)
+					if src.verified {
+						b.WriteString(", verified")
+					} else {
+						b.WriteString(", optimistic")
+					}
+					b.WriteString(")")
+				} else {
+					fmt.Fprintf(&b, "c%d", u)
+				}
+			}
+			b.WriteByte('\n')
+		}
+		for _, j := range cs.jobs {
+			marker := ""
+			if pts := j.Points(); len(pts) > 0 {
+				marker = fmt.Sprintf("  points=%v", pts)
+			}
+			fmt.Fprintf(&b, "  job %s -> %s%s\n", j.ID, j.Output, marker)
+		}
+		for _, rs := range cs.replicas {
+			state := "not completed"
+			switch {
+			case rs.faulty:
+				state = "DEVIANT"
+			case rs.completed:
+				state = "completed"
+			}
+			fmt.Fprintf(&b, "  replica %d: %s, nodes=%d\n", rs.idx, state, len(rs.nodes))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+
+	"clusterbft/internal/digest"
+)
+
+// Matcher is the verifier's digest store (§4.1): it collects digest
+// reports from replicas and asserts that at least f+1 corresponding
+// digests match. Matching happens at two granularities:
+//
+//   - per key (approximate, online): as soon as f+1 replicas agree on one
+//     chunk, any replica reporting a different sum for that chunk is a
+//     commission fault — detection can start before sub-jobs complete;
+//   - per replica (offline): a completed replica's full digest vector is
+//     rolled into a fingerprint; f+1 equal fingerprints verify the
+//     sub-graph.
+type Matcher struct {
+	f     int
+	bySID map[string]map[int]map[digest.Key]digest.Sum
+}
+
+// NewMatcher builds a matcher asserting f+1 agreement.
+func NewMatcher(f int) *Matcher {
+	return &Matcher{f: f, bySID: make(map[string]map[int]map[digest.Key]digest.Sum)}
+}
+
+// Add stores one report.
+func (m *Matcher) Add(r digest.Report) {
+	replicas := m.bySID[r.Key.SID]
+	if replicas == nil {
+		replicas = make(map[int]map[digest.Key]digest.Sum)
+		m.bySID[r.Key.SID] = replicas
+	}
+	sums := replicas[r.Replica]
+	if sums == nil {
+		sums = make(map[digest.Key]digest.Sum)
+		replicas[r.Replica] = sums
+	}
+	sums[r.Key] = r.Sum
+}
+
+// Reports returns how many digests replica has filed under sid.
+func (m *Matcher) Reports(sid string, replica int) int {
+	return len(m.bySID[sid][replica])
+}
+
+// Fingerprint rolls a replica's digest vector for sid into one sum,
+// iterating keys in sorted order so equal vectors give equal prints.
+func (m *Matcher) Fingerprint(sid string, replica int) digest.Sum {
+	sums := m.bySID[sid][replica]
+	keys := make([]digest.Key, 0, len(sums))
+	for k := range sums {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Point != b.Point {
+			return a.Point < b.Point
+		}
+		if a.Task != b.Task {
+			return a.Task < b.Task
+		}
+		return a.Chunk < b.Chunk
+	})
+	h := sha256.New()
+	for _, k := range keys {
+		s := sums[k]
+		fmt.Fprintf(h, "%d|%s|%d|", k.Point, k.Task, k.Chunk)
+		h.Write(s[:])
+	}
+	var out digest.Sum
+	h.Sum(out[:0])
+	return out
+}
+
+// Agreement groups the given (completed) replicas of sid by fingerprint.
+// ok reports whether some group reaches f+1; then majority holds that
+// group's replicas (ascending) and deviants every other given replica.
+func (m *Matcher) Agreement(sid string, completed []int) (majority, deviants []int, ok bool) {
+	groups := make(map[digest.Sum][]int)
+	for _, rep := range completed {
+		fp := m.Fingerprint(sid, rep)
+		groups[fp] = append(groups[fp], rep)
+	}
+	var best []int
+	for _, g := range groups {
+		sort.Ints(g)
+		if len(g) > len(best) || (len(g) == len(best) && len(g) > 0 && (len(best) == 0 || g[0] < best[0])) {
+			best = g
+		}
+	}
+	if len(best) < m.f+1 {
+		return nil, nil, false
+	}
+	inBest := make(map[int]bool, len(best))
+	for _, r := range best {
+		inBest[r] = true
+	}
+	for _, r := range completed {
+		if !inBest[r] {
+			deviants = append(deviants, r)
+		}
+	}
+	sort.Ints(deviants)
+	return best, deviants, true
+}
+
+// KeyDeviants performs the online per-key check over everything reported
+// so far for sid: for each key where some sum has f+1 replica votes, any
+// replica with a different sum is deviant. This flags commission faults
+// before replicas finish (approximate, offline comparison, §3.3).
+func (m *Matcher) KeyDeviants(sid string) []int {
+	replicas := m.bySID[sid]
+	votes := make(map[digest.Key]map[digest.Sum][]int)
+	for rep, sums := range replicas {
+		for k, s := range sums {
+			if votes[k] == nil {
+				votes[k] = make(map[digest.Sum][]int)
+			}
+			votes[k][s] = append(votes[k][s], rep)
+		}
+	}
+	deviant := make(map[int]bool)
+	for _, bysum := range votes {
+		var winner []int
+		for _, reps := range bysum {
+			if len(reps) >= m.f+1 && len(reps) > len(winner) {
+				winner = reps
+			}
+		}
+		if winner == nil {
+			continue
+		}
+		inWin := make(map[int]bool, len(winner))
+		for _, r := range winner {
+			inWin[r] = true
+		}
+		for _, reps := range bysum {
+			for _, r := range reps {
+				if !inWin[r] {
+					deviant[r] = true
+				}
+			}
+		}
+	}
+	out := make([]int, 0, len(deviant))
+	for r := range deviant {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Forget drops all state for a sub-graph attempt (after verification or
+// abandonment) so long controller runs don't accumulate stale digests.
+func (m *Matcher) Forget(sid string) {
+	delete(m.bySID, sid)
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"clusterbft/internal/digest"
+	"clusterbft/internal/tuple"
+)
+
+func report(sid string, rep, point int, task string, chunk int, payload string) digest.Report {
+	return digest.Report{
+		Key:     digest.Key{SID: sid, Point: point, Task: task, Chunk: chunk},
+		Replica: rep,
+		Sum:     digest.Of([]tuple.Tuple{{tuple.Str(payload)}}),
+	}
+}
+
+func TestAgreementUnanimous(t *testing.T) {
+	m := NewMatcher(1)
+	for rep := 0; rep < 4; rep++ {
+		m.Add(report("s", rep, 1, "m0-000", 0, "same"))
+		m.Add(report("s", rep, 2, "r000", 0, "also"))
+	}
+	maj, dev, ok := m.Agreement("s", []int{0, 1, 2, 3})
+	if !ok {
+		t.Fatal("unanimous replicas must agree")
+	}
+	if !reflect.DeepEqual(maj, []int{0, 1, 2, 3}) || len(dev) != 0 {
+		t.Errorf("maj=%v dev=%v", maj, dev)
+	}
+}
+
+func TestAgreementDeviantDetected(t *testing.T) {
+	m := NewMatcher(1)
+	for rep := 0; rep < 4; rep++ {
+		payload := "good"
+		if rep == 2 {
+			payload = "evil"
+		}
+		m.Add(report("s", rep, 1, "m0-000", 0, payload))
+	}
+	maj, dev, ok := m.Agreement("s", []int{0, 1, 2, 3})
+	if !ok {
+		t.Fatal("3 of 4 should agree")
+	}
+	if !reflect.DeepEqual(maj, []int{0, 1, 3}) || !reflect.DeepEqual(dev, []int{2}) {
+		t.Errorf("maj=%v dev=%v", maj, dev)
+	}
+}
+
+func TestAgreementNoQuorum(t *testing.T) {
+	m := NewMatcher(1)
+	m.Add(report("s", 0, 1, "t", 0, "a"))
+	m.Add(report("s", 1, 1, "t", 0, "b"))
+	if _, _, ok := m.Agreement("s", []int{0, 1}); ok {
+		t.Error("1-1 split with f=1 must not verify")
+	}
+}
+
+func TestAgreementF0SingleExecution(t *testing.T) {
+	m := NewMatcher(0)
+	m.Add(report("s", 0, 1, "t", 0, "solo"))
+	maj, _, ok := m.Agreement("s", []int{0})
+	if !ok || len(maj) != 1 {
+		t.Error("f=0 must accept a single replica")
+	}
+}
+
+func TestAgreementMissingReportsDiffer(t *testing.T) {
+	// A replica missing one digest has a different fingerprint.
+	m := NewMatcher(1)
+	for rep := 0; rep < 3; rep++ {
+		m.Add(report("s", rep, 1, "t1", 0, "x"))
+	}
+	m.Add(report("s", 0, 1, "t2", 0, "y"))
+	m.Add(report("s", 1, 1, "t2", 0, "y"))
+	// replica 2 never reported t2
+	maj, dev, ok := m.Agreement("s", []int{0, 1, 2})
+	if !ok {
+		t.Fatal("0 and 1 should agree")
+	}
+	if !reflect.DeepEqual(maj, []int{0, 1}) || !reflect.DeepEqual(dev, []int{2}) {
+		t.Errorf("maj=%v dev=%v", maj, dev)
+	}
+}
+
+func TestFingerprintOrderIndependence(t *testing.T) {
+	m1 := NewMatcher(1)
+	m1.Add(report("s", 0, 1, "a", 0, "p"))
+	m1.Add(report("s", 0, 2, "b", 0, "q"))
+	m2 := NewMatcher(1)
+	m2.Add(report("s", 0, 2, "b", 0, "q"))
+	m2.Add(report("s", 0, 1, "a", 0, "p"))
+	if m1.Fingerprint("s", 0) != m2.Fingerprint("s", 0) {
+		t.Error("fingerprint depends on arrival order")
+	}
+}
+
+func TestFingerprintComparableAcrossSIDs(t *testing.T) {
+	// Re-run attempts carry a new SID but identical digest vectors must
+	// fingerprint equal so the controller can compare attempts.
+	m := NewMatcher(1)
+	m.Add(report("attempt0", 1, 1, "t", 0, "data"))
+	m.Add(report("attempt1", 0, 1, "t", 0, "data"))
+	if m.Fingerprint("attempt0", 1) != m.Fingerprint("attempt1", 0) {
+		t.Error("fingerprints must compare across SIDs")
+	}
+}
+
+func TestKeyDeviantsOnline(t *testing.T) {
+	m := NewMatcher(1)
+	// Chunk-level early detection: replica 3 deviates on one chunk while
+	// replicas still run.
+	for rep := 0; rep < 4; rep++ {
+		payload := "ok"
+		if rep == 3 {
+			payload = "bad"
+		}
+		m.Add(report("s", rep, 1, "m0-000", 0, payload))
+	}
+	if got := m.KeyDeviants("s"); !reflect.DeepEqual(got, []int{3}) {
+		t.Errorf("KeyDeviants = %v", got)
+	}
+}
+
+func TestKeyDeviantsNoMajorityYet(t *testing.T) {
+	m := NewMatcher(1)
+	m.Add(report("s", 0, 1, "t", 0, "a"))
+	m.Add(report("s", 1, 1, "t", 0, "b"))
+	if got := m.KeyDeviants("s"); len(got) != 0 {
+		t.Errorf("no f+1 majority yet, deviants = %v", got)
+	}
+}
+
+func TestReportsAndForget(t *testing.T) {
+	m := NewMatcher(1)
+	m.Add(report("s", 0, 1, "t", 0, "x"))
+	m.Add(report("s", 0, 1, "t", 1, "y"))
+	if m.Reports("s", 0) != 2 {
+		t.Errorf("Reports = %d", m.Reports("s", 0))
+	}
+	m.Forget("s")
+	if m.Reports("s", 0) != 0 {
+		t.Error("Forget did not clear state")
+	}
+}
+
+func TestAgreementTieBreaksByLowestReplica(t *testing.T) {
+	// 2 vs 2 with f=1: both groups have size 2 >= f+1; the group holding
+	// the lowest replica index wins deterministically.
+	m := NewMatcher(1)
+	m.Add(report("s", 0, 1, "t", 0, "alpha"))
+	m.Add(report("s", 3, 1, "t", 0, "alpha"))
+	m.Add(report("s", 1, 1, "t", 0, "beta"))
+	m.Add(report("s", 2, 1, "t", 0, "beta"))
+	maj, _, ok := m.Agreement("s", []int{0, 1, 2, 3})
+	if !ok {
+		t.Fatal("size-2 group with f=1 verifies")
+	}
+	if maj[0] != 0 {
+		t.Errorf("majority = %v, want the group containing replica 0", maj)
+	}
+}

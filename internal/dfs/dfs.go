@@ -1,0 +1,226 @@
+// Package dfs provides the trusted storage layer ClusterBFT assumes
+// (paper §2.3): an in-memory, append-only, HDFS-like file system. Files
+// hold text records (lines); directories are implicit path prefixes, and
+// MapReduce outputs follow the Hadoop convention of part files under an
+// output directory. The file system counts bytes read and written so the
+// Table 3 "HDFS write" metric can be reported.
+package dfs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// FS is a concurrency-safe in-memory file system. The zero value is not
+// usable; construct with New.
+type FS struct {
+	mu    sync.RWMutex
+	files map[string]*file
+
+	bytesWritten atomic.Int64
+	bytesRead    atomic.Int64
+}
+
+type file struct {
+	lines []string
+	bytes int64
+}
+
+// New returns an empty file system.
+func New() *FS {
+	return &FS{files: make(map[string]*file)}
+}
+
+// ErrNotFound is returned when a path does not exist.
+type ErrNotFound struct{ Path string }
+
+func (e *ErrNotFound) Error() string { return fmt.Sprintf("dfs: %s: no such file", e.Path) }
+
+// ErrExists is returned by Create when the path already exists.
+type ErrExists struct{ Path string }
+
+func (e *ErrExists) Error() string { return fmt.Sprintf("dfs: %s: file exists", e.Path) }
+
+func clean(path string) string {
+	return strings.TrimPrefix(strings.TrimSuffix(path, "/"), "/")
+}
+
+// Create makes an empty file at path, failing if it already exists.
+func (fs *FS) Create(path string) error {
+	path = clean(path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[path]; ok {
+		return &ErrExists{Path: path}
+	}
+	fs.files[path] = &file{}
+	return nil
+}
+
+// Append adds lines to the file at path, creating it if needed. The file
+// system is append-only in keeping with cloud-store semantics (§1): there
+// is no way to overwrite existing records in place.
+func (fs *FS) Append(path string, lines ...string) {
+	path = clean(path)
+	var n int64
+	for _, l := range lines {
+		n += int64(len(l)) + 1
+	}
+	fs.mu.Lock()
+	f, ok := fs.files[path]
+	if !ok {
+		f = &file{}
+		fs.files[path] = f
+	}
+	f.lines = append(f.lines, lines...)
+	f.bytes += n
+	fs.mu.Unlock()
+	fs.bytesWritten.Add(n)
+}
+
+// ReadLines returns a copy of the lines of the file at path.
+func (fs *FS) ReadLines(path string) ([]string, error) {
+	path = clean(path)
+	fs.mu.RLock()
+	f, ok := fs.files[path]
+	if !ok {
+		fs.mu.RUnlock()
+		return nil, &ErrNotFound{Path: path}
+	}
+	out := make([]string, len(f.lines))
+	copy(out, f.lines)
+	n := f.bytes
+	fs.mu.RUnlock()
+	fs.bytesRead.Add(n)
+	return out, nil
+}
+
+// Exists reports whether the exact path exists as a file.
+func (fs *FS) Exists(path string) bool {
+	path = clean(path)
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	_, ok := fs.files[path]
+	return ok
+}
+
+// Delete removes the file at path (and only that file). Deleting a
+// missing file is an error, matching HDFS -rm semantics.
+func (fs *FS) Delete(path string) error {
+	path = clean(path)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[path]; !ok {
+		return &ErrNotFound{Path: path}
+	}
+	delete(fs.files, path)
+	return nil
+}
+
+// DeleteTree removes every file whose path equals prefix or sits under
+// prefix + "/". It returns the number of files removed.
+func (fs *FS) DeleteTree(prefix string) int {
+	prefix = clean(prefix)
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	n := 0
+	for p := range fs.files {
+		if p == prefix || strings.HasPrefix(p, prefix+"/") {
+			delete(fs.files, p)
+			n++
+		}
+	}
+	return n
+}
+
+// List returns the sorted paths of all files at or under prefix. An empty
+// prefix lists everything.
+func (fs *FS) List(prefix string) []string {
+	prefix = clean(prefix)
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var out []string
+	for p := range fs.files {
+		if prefix == "" || p == prefix || strings.HasPrefix(p, prefix+"/") {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the stored byte size of the file at path (records plus one
+// newline each).
+func (fs *FS) Size(path string) (int64, error) {
+	path = clean(path)
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return 0, &ErrNotFound{Path: path}
+	}
+	return f.bytes, nil
+}
+
+// TreeSize returns the total byte size of all files at or under prefix.
+func (fs *FS) TreeSize(prefix string) int64 {
+	prefix = clean(prefix)
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	var n int64
+	for p, f := range fs.files {
+		if prefix == "" || p == prefix || strings.HasPrefix(p, prefix+"/") {
+			n += f.bytes
+		}
+	}
+	return n
+}
+
+// LineCount returns the number of records in the file at path.
+func (fs *FS) LineCount(path string) (int, error) {
+	path = clean(path)
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return 0, &ErrNotFound{Path: path}
+	}
+	return len(f.lines), nil
+}
+
+// ReadTree reads and concatenates, in sorted path order, every file at or
+// under prefix. This is how MapReduce consumers read a part-file output
+// directory.
+func (fs *FS) ReadTree(prefix string) ([]string, error) {
+	paths := fs.List(prefix)
+	if len(paths) == 0 {
+		return nil, &ErrNotFound{Path: prefix}
+	}
+	var out []string
+	for _, p := range paths {
+		lines, err := fs.ReadLines(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, lines...)
+	}
+	return out, nil
+}
+
+// BytesWritten returns the cumulative bytes written since construction
+// (or the last ResetCounters).
+func (fs *FS) BytesWritten() int64 { return fs.bytesWritten.Load() }
+
+// BytesRead returns the cumulative bytes read since construction (or the
+// last ResetCounters).
+func (fs *FS) BytesRead() int64 { return fs.bytesRead.Load() }
+
+// ResetCounters zeroes the read/write byte counters without touching file
+// contents; experiments call this between measured phases.
+func (fs *FS) ResetCounters() {
+	fs.bytesWritten.Store(0)
+	fs.bytesRead.Store(0)
+}

@@ -1,0 +1,237 @@
+package dfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateAndExists(t *testing.T) {
+	fs := New()
+	if fs.Exists("a") {
+		t.Fatal("fresh FS should be empty")
+	}
+	if err := fs.Create("a"); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("a") {
+		t.Error("created file should exist")
+	}
+	var exists *ErrExists
+	if err := fs.Create("a"); !errors.As(err, &exists) {
+		t.Errorf("second Create should fail with ErrExists, got %v", err)
+	}
+}
+
+func TestPathCleaning(t *testing.T) {
+	fs := New()
+	fs.Append("/data/in/", "x")
+	if !fs.Exists("data/in") {
+		t.Error("leading/trailing slashes should normalize")
+	}
+	lines, err := fs.ReadLines("/data/in")
+	if err != nil || len(lines) != 1 {
+		t.Errorf("ReadLines via alternate spelling: %v %v", lines, err)
+	}
+}
+
+func TestAppendAndRead(t *testing.T) {
+	fs := New()
+	fs.Append("f", "one", "two")
+	fs.Append("f", "three")
+	lines, err := fs.ReadLines("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"one", "two", "three"}
+	if len(lines) != 3 {
+		t.Fatalf("len = %d", len(lines))
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, lines[i], want[i])
+		}
+	}
+}
+
+func TestReadReturnsCopy(t *testing.T) {
+	fs := New()
+	fs.Append("f", "orig")
+	lines, _ := fs.ReadLines("f")
+	lines[0] = "mutated"
+	again, _ := fs.ReadLines("f")
+	if again[0] != "orig" {
+		t.Error("ReadLines must return a copy")
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	fs := New()
+	var nf *ErrNotFound
+	if _, err := fs.ReadLines("ghost"); !errors.As(err, &nf) {
+		t.Errorf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	fs := New()
+	fs.Append("f", "x")
+	if err := fs.Delete("f"); err != nil {
+		t.Fatal(err)
+	}
+	if fs.Exists("f") {
+		t.Error("deleted file still exists")
+	}
+	if err := fs.Delete("f"); err == nil {
+		t.Error("deleting missing file should error")
+	}
+}
+
+func TestDeleteTree(t *testing.T) {
+	fs := New()
+	fs.Append("out/part-00000", "a")
+	fs.Append("out/part-00001", "b")
+	fs.Append("outlier", "c")
+	if n := fs.DeleteTree("out"); n != 2 {
+		t.Errorf("DeleteTree removed %d, want 2", n)
+	}
+	if !fs.Exists("outlier") {
+		t.Error("DeleteTree must not remove sibling with shared name prefix")
+	}
+}
+
+func TestListPrefixBoundary(t *testing.T) {
+	fs := New()
+	fs.Append("job/a", "1")
+	fs.Append("job/b", "2")
+	fs.Append("jobx", "3")
+	got := fs.List("job")
+	if len(got) != 2 || got[0] != "job/a" || got[1] != "job/b" {
+		t.Errorf("List(job) = %v", got)
+	}
+	if n := len(fs.List("")); n != 3 {
+		t.Errorf("List(\"\") found %d files", n)
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	fs := New()
+	fs.Append("f", "abc", "de") // 4 + 3 bytes with newlines
+	sz, err := fs.Size("f")
+	if err != nil || sz != 7 {
+		t.Errorf("Size = %d, %v; want 7", sz, err)
+	}
+	if _, err := fs.Size("missing"); err == nil {
+		t.Error("Size of missing file should error")
+	}
+}
+
+func TestTreeSize(t *testing.T) {
+	fs := New()
+	fs.Append("d/a", "xx") // 3
+	fs.Append("d/b", "y")  // 2
+	fs.Append("e", "zzzz") // 5
+	if got := fs.TreeSize("d"); got != 5 {
+		t.Errorf("TreeSize(d) = %d, want 5", got)
+	}
+	if got := fs.TreeSize(""); got != 10 {
+		t.Errorf("TreeSize(\"\") = %d, want 10", got)
+	}
+}
+
+func TestLineCount(t *testing.T) {
+	fs := New()
+	fs.Append("f", "a", "b", "c")
+	n, err := fs.LineCount("f")
+	if err != nil || n != 3 {
+		t.Errorf("LineCount = %d, %v", n, err)
+	}
+	if _, err := fs.LineCount("nope"); err == nil {
+		t.Error("LineCount of missing file should error")
+	}
+}
+
+func TestReadTreeOrder(t *testing.T) {
+	fs := New()
+	fs.Append("out/part-00001", "second")
+	fs.Append("out/part-00000", "first")
+	lines, err := fs.ReadTree("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 || lines[0] != "first" || lines[1] != "second" {
+		t.Errorf("ReadTree = %v; want sorted part order", lines)
+	}
+}
+
+func TestReadTreeMissing(t *testing.T) {
+	fs := New()
+	if _, err := fs.ReadTree("none"); err == nil {
+		t.Error("ReadTree on empty prefix should error")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	fs := New()
+	fs.Append("f", "abcd") // 5 bytes
+	if fs.BytesWritten() != 5 {
+		t.Errorf("BytesWritten = %d", fs.BytesWritten())
+	}
+	fs.ReadLines("f")
+	if fs.BytesRead() != 5 {
+		t.Errorf("BytesRead = %d", fs.BytesRead())
+	}
+	fs.ResetCounters()
+	if fs.BytesWritten() != 0 || fs.BytesRead() != 0 {
+		t.Error("ResetCounters did not zero counters")
+	}
+	if !fs.Exists("f") {
+		t.Error("ResetCounters must not delete files")
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	fs := New()
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				fs.Append(fmt.Sprintf("w%d", w), "line")
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for w := 0; w < workers; w++ {
+		n, err := fs.LineCount(fmt.Sprintf("w%d", w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if total != workers*per {
+		t.Errorf("total lines = %d, want %d", total, workers*per)
+	}
+}
+
+func TestSizeMatchesBytesWrittenProperty(t *testing.T) {
+	f := func(lines []string) bool {
+		fs := New()
+		sanitized := make([]string, len(lines))
+		copy(sanitized, lines)
+		fs.Append("f", sanitized...)
+		if len(sanitized) == 0 {
+			return fs.BytesWritten() == 0
+		}
+		sz, err := fs.Size("f")
+		return err == nil && sz == fs.BytesWritten()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+// Package digest implements ClusterBFT's approximate output comparison
+// (paper §3.3, §4.1): instead of shipping whole replica outputs to the
+// trusted tier, each task computes streaming SHA-256 digests of the
+// canonical bytes of the tuples flowing through a verification point. A
+// digest is emitted every d records ("approximation accuracy", §6.4) plus
+// one final digest at stream close; the verifier then matches f+1 equal
+// digests per (point, task, chunk) across replicas.
+package digest
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+
+	"clusterbft/internal/tuple"
+)
+
+// Sum is a SHA-256 digest value.
+type Sum [sha256.Size]byte
+
+// String renders the first 8 bytes in hex, enough for logs.
+func (s Sum) String() string { return hex.EncodeToString(s[:8]) }
+
+// Key identifies a digest position independent of which replica produced
+// it: corresponding digests from different replicas share a Key and must
+// match.
+type Key struct {
+	SID   string // sub-graph (job) identifier
+	Point int    // verification point: logical-plan vertex ID
+	Task  string // task identity, stable across replicas (e.g. "m003")
+	Chunk int    // chunk index within the task's stream
+}
+
+// String renders the key as "sid/point/task#chunk".
+func (k Key) String() string {
+	return fmt.Sprintf("%s/p%d/%s#%d", k.SID, k.Point, k.Task, k.Chunk)
+}
+
+// Report is one digest sent from a worker to the trusted verifier.
+type Report struct {
+	Key     Key
+	Replica int   // which replica of the job produced it
+	Final   bool  // closing chunk of the stream
+	Records int64 // records covered by this chunk
+	Sum     Sum
+}
+
+// Writer computes chunked digests over a tuple stream. Not safe for
+// concurrent use; each task owns its writers.
+type Writer struct {
+	key     Key
+	replica int
+	every   int // records per chunk; <= 0 means a single final digest
+	emit    func(Report)
+
+	h       hash.Hash
+	buf     []byte
+	inChunk int64
+	chunk   int
+	closed  bool
+}
+
+// NewWriter returns a Writer that digests the stream for one verification
+// point of one task. every is the paper's d parameter: a digest is
+// emitted after each `every` records (and a final one at Close); every <=
+// 0 disables chunking so only the final digest is produced. emit must be
+// non-nil.
+func NewWriter(key Key, replica, every int, emit func(Report)) *Writer {
+	return &Writer{
+		key:     key,
+		replica: replica,
+		every:   every,
+		emit:    emit,
+		h:       sha256.New(),
+	}
+}
+
+// Add folds one tuple's canonical bytes into the current chunk, emitting
+// a Report when the chunk fills.
+func (w *Writer) Add(t tuple.Tuple) {
+	if w.closed {
+		return
+	}
+	w.buf = tuple.AppendCanonical(w.buf[:0], t)
+	w.h.Write(w.buf)
+	w.inChunk++
+	if w.every > 0 && w.inChunk >= int64(w.every) {
+		w.flush(false)
+	}
+}
+
+// Close emits the final digest covering any remaining records. The final
+// digest is always emitted, even for an empty stream, so replicas that
+// produce no output still report something comparable. Close is
+// idempotent.
+func (w *Writer) Close() {
+	if w.closed {
+		return
+	}
+	w.flush(true)
+	w.closed = true
+}
+
+// Records returns the number of records folded into the current (open)
+// chunk; used by tests.
+func (w *Writer) Records() int64 { return w.inChunk }
+
+func (w *Writer) flush(final bool) {
+	r := Report{
+		Key:     Key{SID: w.key.SID, Point: w.key.Point, Task: w.key.Task, Chunk: w.chunk},
+		Replica: w.replica,
+		Final:   final,
+		Records: w.inChunk,
+	}
+	w.h.Sum(r.Sum[:0])
+	w.emit(r)
+	w.h.Reset()
+	w.inChunk = 0
+	w.chunk++
+}
+
+// Of computes the one-shot digest of a full tuple stream; used by tests
+// and by offline re-verification.
+func Of(tuples []tuple.Tuple) Sum {
+	h := sha256.New()
+	var buf []byte
+	for _, t := range tuples {
+		buf = tuple.AppendCanonical(buf[:0], t)
+		h.Write(buf)
+	}
+	var s Sum
+	h.Sum(s[:0])
+	return s
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clusterbft/internal/faultsim"
+)
+
+// Fig11Point is one (probability, configuration) average.
+type Fig11Point struct {
+	CommissionProb float64
+	Jobs           map[string]float64 // series label -> avg jobs to |D|=f
+}
+
+// Fig11Result reproduces "Number of jobs required to identify disjoint
+// set of faults": jobs completed until |D| = f versus the probability a
+// faulty node produces a commission failure, for job-size ratios r1
+// (6:3:1) and r2 (2:2:1) and f ∈ {1 (4 replicas), 2 (7 replicas)}.
+type Fig11Result struct {
+	Series []string
+	Points []Fig11Point
+}
+
+// Render prints one row per probability.
+func (r *Fig11Result) Render() string {
+	header := append([]string{"p(commission)"}, r.Series...)
+	var rows [][]string
+	for _, pt := range r.Points {
+		row := []string{fmt.Sprintf("%.1f", pt.CommissionProb)}
+		for _, s := range r.Series {
+			row = append(row, fmt.Sprintf("%.1f", pt.Jobs[s]))
+		}
+		rows = append(rows, row)
+	}
+	return "Fig 11: jobs completed until |D| = f\n" + table(header, rows)
+}
+
+// Fig11 sweeps commission probability 0.1–1.0 over the four paper
+// configurations, averaging over sc.Trials seeded runs each.
+func Fig11(sc Scale) *Fig11Result {
+	configs := map[string]faultsim.Config{
+		"r1,f=1": {Mix: faultsim.R1, F: 1},
+		"r1,f=2": {Mix: faultsim.R1, F: 2},
+		"r2,f=1": {Mix: faultsim.R2, F: 1},
+		"r2,f=2": {Mix: faultsim.R2, F: 2},
+	}
+	res := &Fig11Result{Series: []string{"r1,f=1", "r1,f=2", "r2,f=1", "r2,f=2"}}
+	for p := 1; p <= 10; p++ {
+		prob := float64(p) / 10
+		pt := Fig11Point{CommissionProb: prob, Jobs: make(map[string]float64)}
+		for _, name := range res.Series {
+			cfg := configs[name]
+			cfg.CommissionProb = prob
+			cfg.Seed = sc.Seed
+			cfg.MaxTime = sc.SimTime * 10 // generous bound for low p
+			pt.Jobs[name] = faultsim.JobsToIsolate(cfg, sc.Trials)
+		}
+		res.Points = append(res.Points, pt)
+	}
+	return res
+}
+
+// SuspicionResult reproduces Figs 12 and 13: the Low/Med/High suspicion
+// population over time for one representative run.
+type SuspicionResult struct {
+	Name             string
+	Samples          []faultsim.Sample
+	TimeAtSaturation int
+	TrueFaulty       int
+	Isolated         bool
+}
+
+// Render prints samples every 15 ticks like the paper's x-axis.
+func (r *SuspicionResult) Render() string {
+	var rows [][]string
+	for _, s := range r.Samples {
+		if s.Time%15 != 0 {
+			continue
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", s.Time),
+			fmt.Sprintf("%d", s.Low),
+			fmt.Sprintf("%d", s.Med),
+			fmt.Sprintf("%d", s.High),
+		})
+	}
+	out := r.Name + "\n" + table([]string{"time", "low", "med", "high"}, rows)
+	return out + fmt.Sprintf("|D|=f at t=%d; %d truly faulty; isolated=%v\n",
+		r.TimeAtSaturation, r.TrueFaulty, r.Isolated)
+}
+
+// Fig12 shows suspicion levels over time for the default mix: suspects
+// appear after the first commission fault, then pruning leaves only the
+// truly faulty nodes in the High bucket.
+func Fig12(sc Scale) *SuspicionResult {
+	r := faultsim.Run(faultsim.Config{
+		CommissionProb: 0.6,
+		Seed:           sc.Seed + 3,
+		MaxTime:        sc.SimTime,
+	})
+	return &SuspicionResult{
+		Name:             "Fig 12: suspicion level changes over time",
+		Samples:          r.Samples,
+		TimeAtSaturation: r.TimeAtSaturation,
+		TrueFaulty:       len(r.TrueFaulty),
+		Isolated:         r.Isolated,
+	}
+}
+
+// Fig13 uses a large-job-heavy mix so several big overlapping job
+// clusters fault together, spiking the suspect population before |D|
+// saturates and pruning takes over.
+func Fig13(sc Scale) *SuspicionResult {
+	r := faultsim.Run(faultsim.Config{
+		CommissionProb: 0.6,
+		Mix:            faultsim.Mix{Large: 10, Medium: 1, Small: 1},
+		Seed:           sc.Seed + 4,
+		MaxTime:        sc.SimTime,
+	})
+	return &SuspicionResult{
+		Name:             "Fig 13: suspicion spikes under multiple large faulty clusters",
+		Samples:          r.Samples,
+		TimeAtSaturation: r.TimeAtSaturation,
+		TrueFaulty:       len(r.TrueFaulty),
+		Isolated:         r.Isolated,
+	}
+}

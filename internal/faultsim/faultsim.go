@@ -1,0 +1,396 @@
+// Package faultsim reproduces the paper's §6.3 fault-isolation study: a
+// discrete-time simulator of resource allocation in a 250-node Hadoop
+// cluster (3 slots per node) running a mix of large/medium/small
+// replicated jobs, where a small set of Byzantine nodes produces
+// commission faults with a configurable probability. Unlike the paper's
+// standalone Java simulator, this one drives the production fault
+// analyzer and suspicion table from internal/core, so the isolation
+// behaviour measured is that of the real implementation.
+package faultsim
+
+import (
+	"math/rand"
+
+	"clusterbft/internal/cluster"
+	"clusterbft/internal/core"
+)
+
+// SizeClass is an inclusive slot-count range for one job category.
+type SizeClass struct {
+	Min, Max int
+}
+
+// Mix gives the ratio of large : medium : small jobs in the workload.
+// The paper's r1 is 6:3:1 and r2 is 2:2:1.
+type Mix struct {
+	Large, Medium, Small int
+}
+
+// R1 and R2 are the paper's two job-size ratios.
+var (
+	R1 = Mix{Large: 6, Medium: 3, Small: 1}
+	R2 = Mix{Large: 2, Medium: 2, Small: 1}
+)
+
+// Config parameterizes one simulation.
+type Config struct {
+	Nodes int // cluster size; paper: 250
+	Slots int // slots per node; paper: 3
+	F     int // tolerated faults; replicas defaults to 3F+1 (4 or 7)
+	// Replicas overrides the replica count when > 0.
+	Replicas int
+	// FaultyNodes is how many Byzantine nodes exist; defaults to F.
+	FaultyNodes int
+	// CommissionProb is the per-replica-involvement probability that a
+	// faulty node corrupts the replica's output (the x-axis of Fig 11).
+	CommissionProb float64
+	Mix            Mix
+	// Large/Medium/Small override the paper's slot ranges when non-zero.
+	Large, Medium, Small SizeClass
+	// MaxJobLen is the maximum job length in ticks (length uniform in
+	// [1, MaxJobLen]).
+	MaxJobLen int
+	// MaxTime bounds the simulation.
+	MaxTime int
+	// StopAtSaturation ends the run once |D| = f.
+	StopAtSaturation bool
+	// Probes enables §3.3 dummy probe jobs: once the analyzer holds a
+	// multi-node suspect set, small jobs deliberately overlay half of it
+	// to split the set faster.
+	Probes bool
+	// Allocation selects the placement policy (rotate = overlap
+	// clusters, pack = minimal overlap); the isolation-speed ablation
+	// compares them.
+	Allocation Allocation
+	Seed       int64
+}
+
+// withDefaults fills in the paper's setup.
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 250
+	}
+	if c.Slots == 0 {
+		c.Slots = 3
+	}
+	if c.F == 0 {
+		c.F = 1
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 3*c.F + 1
+	}
+	if c.FaultyNodes == 0 {
+		c.FaultyNodes = c.F
+	}
+	if c.Mix == (Mix{}) {
+		c.Mix = R1
+	}
+	if c.Large == (SizeClass{}) {
+		c.Large = SizeClass{Min: 20, Max: 30}
+	}
+	if c.Medium == (SizeClass{}) {
+		c.Medium = SizeClass{Min: 10, Max: 15}
+	}
+	if c.Small == (SizeClass{}) {
+		c.Small = SizeClass{Min: 3, Max: 5}
+	}
+	if c.MaxJobLen == 0 {
+		c.MaxJobLen = 4
+	}
+	if c.MaxTime == 0 {
+		c.MaxTime = 2000
+	}
+	return c
+}
+
+// Sample is one per-tick observation of the suspicion population
+// (Figs 12 and 13).
+type Sample struct {
+	Time     int
+	Low      int
+	Med      int
+	High     int
+	Suspects int // nodes with s > 0
+}
+
+// Result summarizes a run.
+type Result struct {
+	// JobsAtSaturation is the number of completed jobs when |D| first
+	// reached f (Fig 11); -1 if it never did.
+	JobsAtSaturation int
+	// TimeAtSaturation is the tick at which that happened; -1 if never.
+	TimeAtSaturation int
+	JobsCompleted    int
+	FaultsObserved   int
+	Samples          []Sample
+	// Suspects is the fault analyzer's final suspicion set.
+	Suspects []cluster.NodeID
+	// TrueFaulty is the set of actually faulty nodes, for scoring.
+	TrueFaulty []cluster.NodeID
+	// Isolated reports whether every true faulty node is suspected and
+	// no honest node remains in the final suspicion set.
+	Isolated bool
+	// TimeToExactIsolation is the first tick at which the analyzer's
+	// suspect set equals the true faulty set; -1 if never.
+	TimeToExactIsolation int
+	// ProbesLaunched counts §3.3 dummy probe jobs.
+	ProbesLaunched int
+}
+
+type job struct {
+	end      int
+	replicas []core.NodeSet
+	faulty   []bool
+}
+
+// Run executes one seeded simulation.
+func Run(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	free := make([]int, cfg.Nodes)
+	for i := range free {
+		free[i] = cfg.Slots
+	}
+	faulty := make(map[int]bool, cfg.FaultyNodes)
+	for len(faulty) < cfg.FaultyNodes {
+		faulty[rng.Intn(cfg.Nodes)] = true
+	}
+
+	fa := core.NewFaultAnalyzer(cfg.F)
+	susp := core.NewSuspicionTable(0)
+	res := &Result{JobsAtSaturation: -1, TimeAtSaturation: -1, TimeToExactIsolation: -1}
+	for n := range faulty {
+		res.TrueFaulty = append(res.TrueFaulty, nodeID(n))
+	}
+	sortNodeIDs(res.TrueFaulty)
+
+	var running []*job
+	offset := 0
+	for now := 0; now < cfg.MaxTime; now++ {
+		// Complete due jobs.
+		keep := running[:0]
+		for _, j := range running {
+			if j.end > now {
+				keep = append(keep, j)
+				continue
+			}
+			res.JobsCompleted++
+			for ri, rep := range j.replicas {
+				susp.RecordJob(rep.Sorted())
+				for n := range rep {
+					free[nodeIdx(n)]++
+				}
+				if j.faulty[ri] {
+					res.FaultsObserved++
+					reportFault(fa, susp, rep)
+					if fa.Saturated() && res.JobsAtSaturation < 0 {
+						res.JobsAtSaturation = res.JobsCompleted
+						res.TimeAtSaturation = now
+					}
+				}
+			}
+		}
+		running = keep
+		if res.JobsAtSaturation >= 0 && cfg.StopAtSaturation {
+			break
+		}
+
+		// Probe suspicious sets with dummy jobs (§3.3).
+		if cfg.Probes {
+			if targets := pickProbeTargets(fa); targets != nil {
+				if j, ok := allocateProbe(cfg, rng, free, &offset, targets, faulty, now); ok {
+					running = append(running, j)
+					res.ProbesLaunched++
+				}
+			}
+		}
+		// Spawn jobs while capacity allows.
+		for {
+			slots := cfg.jobSlots(rng)
+			j, ok := allocate(cfg, rng, free, &offset, slots, faulty, now)
+			if !ok {
+				break
+			}
+			running = append(running, j)
+		}
+
+		if res.TimeToExactIsolation < 0 && isolated(fa.Suspects(), faulty) {
+			res.TimeToExactIsolation = now
+		}
+
+		h := susp.Histogram()
+		res.Samples = append(res.Samples, Sample{
+			Time:     now,
+			Low:      h[core.Low],
+			Med:      h[core.Med],
+			High:     h[core.High],
+			Suspects: h[core.Low] + h[core.Med] + h[core.High],
+		})
+	}
+
+	res.Suspects = fa.Suspects()
+	res.Isolated = isolated(res.Suspects, faulty)
+	return res
+}
+
+// reportFault feeds the analyzer and applies the paper's post-saturation
+// suspicion rule: once |D| = f, a faulty set that intersects exactly one
+// member of D only incriminates the intersection — the remaining members
+// are provably bystanders — so the suspect population stops growing
+// (§6.3: "the number of suspicious nodes will not increase after this
+// point").
+func reportFault(fa *core.FaultAnalyzer, susp *core.SuspicionTable, rep core.NodeSet) {
+	wasSaturated := fa.Saturated()
+	fa.Report(rep)
+	if wasSaturated {
+		hits := 0
+		var inter core.NodeSet
+		for _, x := range fa.Disjoint() {
+			if rep.Intersects(x) {
+				hits++
+				inter = rep.Intersect(x)
+			}
+		}
+		if hits == 1 {
+			susp.RecordFault(inter.Sorted())
+			return
+		}
+	}
+	susp.RecordFault(rep.Sorted())
+}
+
+func (c Config) jobSlots(rng *rand.Rand) int {
+	total := c.Mix.Large + c.Mix.Medium + c.Mix.Small
+	draw := rng.Intn(total)
+	var sc SizeClass
+	switch {
+	case draw < c.Mix.Large:
+		sc = c.Large
+	case draw < c.Mix.Large+c.Mix.Medium:
+		sc = c.Medium
+	default:
+		sc = c.Small
+	}
+	return sc.Min + rng.Intn(sc.Max-sc.Min+1)
+}
+
+// allocate tries to place all replicas of a job (disjoint node sets, one
+// slot per node per replica, round-robin from a rotating offset to
+// overlap job clusters across the fleet). It returns ok=false without
+// side effects when capacity is insufficient.
+func allocate(cfg Config, rng *rand.Rand, free []int, offset *int, slots int, faulty map[int]bool, now int) (*job, bool) {
+	j := &job{
+		end:      now + 1 + rng.Intn(cfg.MaxJobLen),
+		replicas: make([]core.NodeSet, cfg.Replicas),
+		faulty:   make([]bool, cfg.Replicas),
+	}
+	taken := make(map[int]int) // node -> slots taken by this job overall
+	usedByReplica := make([]map[int]bool, cfg.Replicas)
+	for ri := range j.replicas {
+		j.replicas[ri] = make(core.NodeSet)
+		usedByReplica[ri] = make(map[int]bool)
+		got := 0
+		for probe := 0; probe < cfg.Nodes && got < slots; probe++ {
+			n := (*offset + probe) % cfg.Nodes
+			if usedByReplica[ri][n] {
+				continue
+			}
+			// Replicas of one job must not share nodes (§5.3).
+			shared := false
+			for prev := 0; prev < ri; prev++ {
+				if usedByReplica[prev][n] {
+					shared = true
+					break
+				}
+			}
+			if shared {
+				continue
+			}
+			if free[n]-taken[n] <= 0 {
+				continue
+			}
+			taken[n]++
+			usedByReplica[ri][n] = true
+			j.replicas[ri][nodeID(n)] = true
+			got++
+		}
+		if got < slots {
+			return nil, false // insufficient capacity; no slots consumed
+		}
+	}
+	// Commit.
+	for n, k := range taken {
+		free[n] -= k
+	}
+	if cfg.Allocation == AllocRotate {
+		*offset = (*offset + slots) % cfg.Nodes
+	} else {
+		*offset = 0
+	}
+	for ri, rep := range j.replicas {
+		for n := range rep {
+			if faulty[nodeIdx(n)] && rng.Float64() < cfg.CommissionProb {
+				j.faulty[ri] = true
+			}
+		}
+	}
+	return j, true
+}
+
+func nodeID(i int) cluster.NodeID {
+	return cluster.NodeID(nodeName(i))
+}
+
+func nodeName(i int) string {
+	// Matches cluster.New's naming so core types interoperate.
+	const digits = "0123456789"
+	return "node-" + string([]byte{digits[i/100%10], digits[i/10%10], digits[i%10]})
+}
+
+func nodeIdx(id cluster.NodeID) int {
+	s := string(id)
+	n := 0
+	for i := len("node-"); i < len(s); i++ {
+		n = n*10 + int(s[i]-'0')
+	}
+	return n
+}
+
+func sortNodeIDs(ids []cluster.NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+func isolated(suspects []cluster.NodeID, faulty map[int]bool) bool {
+	if len(suspects) != len(faulty) {
+		return false
+	}
+	for _, s := range suspects {
+		if !faulty[nodeIdx(s)] {
+			return false
+		}
+	}
+	return true
+}
+
+// JobsToIsolate averages JobsAtSaturation over trials (Fig 11's y-axis).
+// Runs that never saturate within MaxTime count as MaxTime-equivalent
+// via their completed-job count.
+func JobsToIsolate(cfg Config, trials int) float64 {
+	total := 0
+	for i := 0; i < trials; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*7919
+		c.StopAtSaturation = true
+		r := Run(c)
+		if r.JobsAtSaturation >= 0 {
+			total += r.JobsAtSaturation
+		} else {
+			total += r.JobsCompleted
+		}
+	}
+	return float64(total) / float64(trials)
+}

@@ -1,0 +1,697 @@
+package mapred
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"clusterbft/internal/cluster"
+	"clusterbft/internal/dfs"
+	"clusterbft/internal/digest"
+)
+
+// CostModel sets the virtual-time costs of engine operations, in
+// microseconds. Latency results are reported in this virtual time, which
+// makes runs deterministic and lets replicas overlap regardless of how
+// many host CPUs the simulation itself gets.
+type CostModel struct {
+	TaskStartupUs   int64 // task-tracker JVM spin-up per task
+	MapRecordUs     int64 // per input record in a map task
+	ReduceRecordUs  int64 // per record in or out of a reduce task
+	ShuffleRecordUs int64 // per record written to / read from shuffle
+	DigestRecordUs  int64 // per record folded into a verification digest
+	HeartbeatUs     int64 // task-tracker heartbeat interval (§4.2 step 1)
+	SplitRecords    int   // records per map input split
+}
+
+// DefaultCostModel returns costs loosely calibrated to Hadoop 1.x: long
+// task startup, cheap per-record processing, digesting noticeably cheaper
+// than processing (the paper measures <10% overhead for one verification
+// point, §6.1).
+func DefaultCostModel() CostModel {
+	return CostModel{
+		TaskStartupUs:   800_000,
+		MapRecordUs:     4,
+		ReduceRecordUs:  6,
+		ShuffleRecordUs: 1,
+		DigestRecordUs:  1,
+		HeartbeatUs:     200_000,
+		SplitRecords:    10_000,
+	}
+}
+
+// Metrics accumulates the resource counters Table 3 reports.
+type Metrics struct {
+	CPUTimeUs         int64 // summed task durations
+	HDFSBytesRead     int64 // job input reads
+	HDFSBytesWritten  int64 // job output writes (intermediate and final)
+	LocalBytesRead    int64 // shuffle reads
+	LocalBytesWritten int64 // shuffle writes
+	MapTasks          int64
+	ReduceTasks       int64
+	RecordsIn         int64
+	RecordsOut        int64
+	DigestRecords     int64
+	JobsCompleted     int64
+	TasksHung         int64 // omission faults observed
+	SpeculativeTasks  int64 // backup copies launched
+}
+
+// JobState tracks one submitted job through execution.
+type JobState struct {
+	Spec *JobSpec
+	// Nodes is the job cluster: every node that was assigned any task of
+	// this job (including hung ones); input to fault isolation (§4.3).
+	Nodes map[cluster.NodeID]bool
+
+	SubmitTime int64
+	DoneTime   int64
+	Done       bool
+	Killed     bool
+
+	depsLeft   int
+	dependents []*JobState
+	runnable   bool
+
+	splits      [][][2]int    // per input: line ranges
+	inputLines  [][]string    // lazy cache of input records
+	mapOutcomes []*mapOutcome // indexed by map task ordinal
+	mapOrdinal  map[string]int
+	mapsTotal   int
+	mapsDone    int
+	redsTotal   int
+	redsDone    int
+
+	running    map[string][]*runningTask // task ID -> active attempts
+	committed  map[string]bool           // task IDs whose result committed
+	maxDur     map[TaskKind]int64        // longest committed duration per kind
+	speculated map[string]bool           // task IDs with a backup launched
+}
+
+type runningTask struct {
+	task  *Task
+	node  cluster.NodeID
+	start int64
+	hung  bool
+	dead  bool
+}
+
+// Latency returns the job's virtual makespan; valid once Done.
+func (j *JobState) Latency() int64 { return j.DoneTime - j.SubmitTime }
+
+type event struct {
+	at  int64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Engine is the deterministic virtual-time MapReduce runtime: a job
+// tracker (queue + dependency tracking), task trackers (node slots
+// claimed via heartbeat ticks), and the execution of real map/reduce
+// work. All callbacks run on the single simulation goroutine.
+type Engine struct {
+	FS      *dfs.FS
+	Cluster *cluster.Cluster
+	Sched   Scheduler
+	Cost    CostModel
+	Metrics Metrics
+
+	// DigestChunk is the paper's d: records per digest chunk (§6.4);
+	// <= 0 means one digest per task stream.
+	DigestChunk int
+	// DigestSink receives verification digests as tasks complete.
+	DigestSink func(digest.Report)
+	// OnJobDone fires when a job's last task completes.
+	OnJobDone func(*JobState)
+
+	now    int64
+	seq    int64
+	events eventHeap
+
+	// Speculation enables Hadoop-style backup tasks: a task still
+	// running SpecLagFactor times longer than the slowest committed
+	// sibling of its kind gets a second copy on another node; the first
+	// completion wins. Backups rescue replicas from stragglers and from
+	// omission-hung tasks without waiting for the verifier timeout.
+	Speculation    bool
+	SpecLagFactor  float64 // default 2.0
+	SpecIntervalUs int64   // sweep period; default 1s virtual
+
+	jobs       map[string]*JobState
+	jobOrder   []string
+	ticks      int
+	specArmed  bool
+	ready      []*Task
+	freeSlots  map[cluster.NodeID]int
+	sidBinding map[cluster.NodeID]map[string]int
+	tickArmed  bool
+}
+
+// NewEngine builds an engine over the given storage and worker cluster.
+// sched may be nil (FIFO).
+func NewEngine(fs *dfs.FS, cl *cluster.Cluster, sched Scheduler, cost CostModel) *Engine {
+	if sched == nil {
+		sched = FIFOScheduler{}
+	}
+	e := &Engine{
+		FS:             fs,
+		Cluster:        cl,
+		Sched:          sched,
+		Cost:           cost,
+		SpecLagFactor:  2.0,
+		SpecIntervalUs: 1_000_000,
+		jobs:           make(map[string]*JobState),
+		freeSlots:      make(map[cluster.NodeID]int),
+		sidBinding:     make(map[cluster.NodeID]map[string]int),
+	}
+	for _, n := range cl.Nodes() {
+		e.freeSlots[n.ID] = n.Slots
+	}
+	return e
+}
+
+// Now returns the current virtual time in microseconds.
+func (e *Engine) Now() int64 { return e.now }
+
+// After schedules fn at now+delayUs on the simulation clock.
+func (e *Engine) After(delayUs int64, fn func()) {
+	if delayUs < 0 {
+		delayUs = 0
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: e.now + delayUs, seq: e.seq, fn: fn})
+}
+
+// Job returns the state of a submitted job, or nil.
+func (e *Engine) Job(id string) *JobState { return e.jobs[id] }
+
+// Submit enqueues a job. Dependencies must have been submitted earlier
+// (compiler output order satisfies this). Duplicate IDs are an error.
+func (e *Engine) Submit(spec *JobSpec) (*JobState, error) {
+	if _, ok := e.jobs[spec.ID]; ok {
+		return nil, fmt.Errorf("mapred: duplicate job id %q", spec.ID)
+	}
+	js := &JobState{
+		Spec:       spec,
+		Nodes:      make(map[cluster.NodeID]bool),
+		SubmitTime: e.now,
+		mapOrdinal: make(map[string]int),
+		running:    make(map[string][]*runningTask),
+		committed:  make(map[string]bool),
+		maxDur:     make(map[TaskKind]int64),
+		speculated: make(map[string]bool),
+	}
+	e.jobs[spec.ID] = js
+	e.jobOrder = append(e.jobOrder, spec.ID)
+	for _, dep := range spec.Deps {
+		d := e.jobs[dep]
+		if d == nil {
+			return nil, fmt.Errorf("mapred: job %q depends on unsubmitted %q", spec.ID, dep)
+		}
+		if !d.Done {
+			js.depsLeft++
+			d.dependents = append(d.dependents, js)
+		}
+	}
+	if js.depsLeft == 0 {
+		e.makeRunnable(js)
+	}
+	return js, nil
+}
+
+// makeRunnable computes splits and enqueues the job's map tasks.
+func (e *Engine) makeRunnable(js *JobState) {
+	if js.runnable || js.Killed {
+		return
+	}
+	js.runnable = true
+	js.splits = make([][][2]int, len(js.Spec.Inputs))
+	js.inputLines = make([][]string, len(js.Spec.Inputs))
+	for i, in := range js.Spec.Inputs {
+		lines := e.readInput(in.Path)
+		js.inputLines[i] = lines
+		js.splits[i] = splitLines(len(lines), e.Cost.SplitRecords)
+		for s := range js.splits[i] {
+			t := &Task{Job: js, Kind: MapTask, InputIdx: i, Index: s}
+			t.Home = e.splitHome(in.Path, s)
+			js.mapOrdinal[t.ID()] = js.mapsTotal
+			js.mapsTotal++
+			e.ready = append(e.ready, t)
+		}
+	}
+	js.mapOutcomes = make([]*mapOutcome, js.mapsTotal)
+	e.armTick()
+}
+
+// readInput loads an input file or part-file tree; missing paths read as
+// empty (an upstream job may legitimately have produced no records).
+func (e *Engine) readInput(path string) []string {
+	if e.FS.Exists(path) {
+		lines, err := e.FS.ReadLines(path)
+		if err == nil {
+			return lines
+		}
+	}
+	lines, err := e.FS.ReadTree(path)
+	if err != nil {
+		return nil
+	}
+	return lines
+}
+
+// splitHome deterministically assigns a "hosting" node for locality-aware
+// schedulers, spreading a file's splits round-robin from a hash of the
+// path.
+func (e *Engine) splitHome(path string, split int) cluster.NodeID {
+	nodes := e.Cluster.Nodes()
+	if len(nodes) == 0 {
+		return ""
+	}
+	h := 0
+	for i := 0; i < len(path); i++ {
+		h = h*31 + int(path[i])
+	}
+	if h < 0 {
+		h = -h
+	}
+	return nodes[(h+split)%len(nodes)].ID
+}
+
+// armTick schedules the next heartbeat scheduling round if needed.
+func (e *Engine) armTick() {
+	if e.tickArmed || len(e.ready) == 0 {
+		return
+	}
+	e.tickArmed = true
+	e.After(e.Cost.HeartbeatUs, func() {
+		e.tickArmed = false
+		e.tick()
+		e.armTick()
+	})
+}
+
+// tick is one heartbeat round: every node with free slots asks the
+// scheduler for work (§4.2 steps 1–5). The starting node rotates across
+// ticks — heartbeats arrive in no fixed order in Hadoop, and a fixed
+// order would starve high-numbered nodes on small workloads — while
+// keeping runs deterministic.
+func (e *Engine) tick() {
+	nodes := e.Cluster.Nodes()
+	if len(nodes) == 0 {
+		return
+	}
+	e.ticks++
+	start := e.ticks % len(nodes)
+	for i := range nodes {
+		node := nodes[(start+i)%len(nodes)]
+		for e.freeSlots[node.ID] > 0 {
+			cands := e.legalTasks(node)
+			if len(cands) == 0 {
+				break
+			}
+			t := e.Sched.Pick(node, cands)
+			if t == nil {
+				break
+			}
+			e.startTask(node, t)
+		}
+	}
+}
+
+// legalTasks filters the ready queue to tasks allowed on node: tasks of a
+// replicated job (non-empty SID) may only land on a node bound to the
+// same replica of that sub-graph, never a different one (§5.3).
+func (e *Engine) legalTasks(node *cluster.Node) []*Task {
+	var out []*Task
+	for _, t := range e.ready {
+		if t.Job.committed[t.ID()] {
+			continue // a backup whose original already finished
+		}
+		sid := t.Job.Spec.SID
+		if sid != "" {
+			if bound, ok := e.sidBinding[node.ID][sid]; ok && bound != t.Job.Spec.Replica {
+				continue
+			}
+		}
+		// A backup copy must not share a node with a live attempt.
+		dup := false
+		for _, rt := range t.Job.running[t.ID()] {
+			if rt.node == node.ID {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func (e *Engine) removeReady(t *Task) {
+	for i, r := range e.ready {
+		if r == t {
+			e.ready = append(e.ready[:i], e.ready[i+1:]...)
+			return
+		}
+	}
+}
+
+// startTask executes t on node and schedules its completion.
+func (e *Engine) startTask(node *cluster.Node, t *Task) {
+	e.removeReady(t)
+	e.freeSlots[node.ID]--
+	js := t.Job
+	js.Nodes[node.ID] = true
+	if sid := js.Spec.SID; sid != "" {
+		if e.sidBinding[node.ID] == nil {
+			e.sidBinding[node.ID] = make(map[string]int)
+		}
+		e.sidBinding[node.ID][sid] = js.Spec.Replica
+	}
+	rt := &runningTask{task: t, node: node.ID, start: e.now}
+	js.running[t.ID()] = append(js.running[t.ID()], rt)
+
+	// Byzantine behaviour draw (§2.3).
+	var corrupt corruptFn
+	hung := false
+	slow := 1.0
+	if adv := node.Adversary; adv != nil && adv.Fire() {
+		switch adv.Kind {
+		case cluster.FaultCommission:
+			corrupt = cluster.Corrupt
+		case cluster.FaultOmission:
+			hung = true
+		case cluster.FaultSlow:
+			slow = adv.Slowdown()
+		}
+	}
+
+	var reports []digest.Report
+	df := func(point int) *digest.Writer {
+		key := digest.Key{SID: js.Spec.SID, Point: point, Task: t.ID()}
+		return digest.NewWriter(key, js.Spec.Replica, e.DigestChunk, func(r digest.Report) {
+			reports = append(reports, r)
+		})
+	}
+
+	var dur int64
+	var commit func()
+	if t.Kind == MapTask {
+		dur, commit = e.execMap(node, t, df, corrupt)
+	} else {
+		dur, commit = e.execReduce(t, df)
+	}
+	if slow > 1 {
+		dur = int64(float64(dur) * slow)
+	}
+	e.Metrics.CPUTimeUs += dur
+	e.armSpec()
+
+	if hung {
+		rt.hung = true
+		e.Metrics.TasksHung++
+		return // no completion event: the node withholds the result
+	}
+	e.After(dur, func() {
+		if rt.dead {
+			return
+		}
+		e.unlink(js, t.ID(), rt)
+		e.freeSlots[rt.node]++
+		if js.Killed || js.committed[t.ID()] {
+			e.armTick() // job gone, or a backup raced us and won
+			return
+		}
+		js.committed[t.ID()] = true
+		if dur > js.maxDur[t.Kind] {
+			js.maxDur[t.Kind] = dur
+		}
+		// Tear down losing sibling attempts (hung originals included).
+		for _, other := range js.running[t.ID()] {
+			other.dead = true
+			e.freeSlots[other.node]++
+		}
+		delete(js.running, t.ID())
+		// Digests first: when commit completes the job, the verifier
+		// must already hold this task's reports.
+		for _, r := range reports {
+			if e.DigestSink != nil {
+				e.DigestSink(r)
+			}
+		}
+		commit()
+		e.armTick()
+	})
+}
+
+// unlink removes one attempt from a task's live list.
+func (e *Engine) unlink(js *JobState, tid string, rt *runningTask) {
+	rts := js.running[tid]
+	for i, x := range rts {
+		if x == rt {
+			js.running[tid] = append(rts[:i], rts[i+1:]...)
+			return
+		}
+	}
+}
+
+// armSpec schedules the next speculative-execution sweep.
+func (e *Engine) armSpec() {
+	if !e.Speculation || e.specArmed {
+		return
+	}
+	e.specArmed = true
+	e.After(e.SpecIntervalUs, func() {
+		e.specArmed = false
+		if e.specSweep() {
+			e.armSpec()
+		}
+	})
+}
+
+// specSweep launches backups for laggard tasks and reports whether any
+// task is still running. Iteration follows submission order and sorted
+// task IDs so runs stay deterministic.
+func (e *Engine) specSweep() bool {
+	anyRunning := false
+	for _, id := range e.jobOrder {
+		js := e.jobs[id]
+		if js == nil || js.Done || js.Killed {
+			continue
+		}
+		tids := make([]string, 0, len(js.running))
+		for tid := range js.running {
+			tids = append(tids, tid)
+		}
+		sort.Strings(tids)
+		for _, tid := range tids {
+			rts := js.running[tid]
+			if len(rts) == 0 {
+				continue
+			}
+			anyRunning = true
+			base := js.maxDur[rts[0].task.Kind]
+			if base == 0 || js.speculated[tid] || len(rts) > 1 {
+				continue
+			}
+			if float64(e.now-rts[0].start) > e.SpecLagFactor*float64(base) {
+				js.speculated[tid] = true
+				e.Metrics.SpeculativeTasks++
+				e.ready = append(e.ready, rts[0].task)
+				e.armTick()
+			}
+		}
+	}
+	return anyRunning
+}
+
+// execMap runs a map task's data work immediately and returns its virtual
+// duration plus a commit closure applied at completion time.
+func (e *Engine) execMap(node *cluster.Node, t *Task, df digestFactory, corrupt corruptFn) (int64, func()) {
+	js := t.Job
+	split := js.splits[t.InputIdx][t.Index]
+	lines := js.inputLines[t.InputIdx][split[0]:split[1]]
+	out := runMapTask(js.Spec, t.InputIdx, lines, df, corrupt)
+
+	inBytes := linesBytes(lines)
+	dur := e.Cost.TaskStartupUs +
+		e.Cost.MapRecordUs*out.recordsIn +
+		e.Cost.DigestRecordUs*out.digested +
+		e.Cost.ShuffleRecordUs*out.recordsOut
+	commit := func() {
+		e.Metrics.MapTasks++
+		e.Metrics.RecordsIn += out.recordsIn
+		e.Metrics.HDFSBytesRead += inBytes
+		e.Metrics.LocalBytesWritten += out.localBytes
+		e.Metrics.DigestRecords += out.digested
+		ord := js.mapOrdinal[t.ID()]
+		js.mapOutcomes[ord] = out
+		js.mapsDone++
+		if js.Spec.Reduce == nil {
+			// Map-only job: task output is final.
+			e.writeOutput(js, partFileName(MapTask, t.InputIdx, t.Index), out.outLines)
+			e.Metrics.RecordsOut += out.recordsOut
+		}
+		if js.mapsDone == js.mapsTotal {
+			e.mapsFinished(js)
+		}
+	}
+	return dur, commit
+}
+
+// mapsFinished either completes a map-only job or enqueues reduces.
+func (e *Engine) mapsFinished(js *JobState) {
+	if js.Spec.Reduce == nil {
+		e.completeJob(js)
+		return
+	}
+	js.redsTotal = js.Spec.NumReduces
+	for r := 0; r < js.redsTotal; r++ {
+		e.ready = append(e.ready, &Task{Job: js, Kind: ReduceTask, Index: r})
+	}
+	e.armTick()
+}
+
+// execReduce runs a reduce task's data work and returns duration plus a
+// commit closure.
+func (e *Engine) execReduce(t *Task, df digestFactory) (int64, func()) {
+	js := t.Job
+	var records []interRec
+	var localBytes int64
+	for _, out := range js.mapOutcomes {
+		if out == nil || t.Index >= len(out.partitions) {
+			continue
+		}
+		for _, r := range out.partitions[t.Index] {
+			records = append(records, r)
+			localBytes += r.bytes()
+		}
+	}
+	out, err := runReduceTask(js.Spec.Reduce, records, df)
+	if err != nil {
+		// Compiled specs cannot produce unknown reduce kinds; treat as a
+		// job with no output rather than crash the simulation.
+		out = &reduceOutcome{}
+	}
+	dur := e.Cost.TaskStartupUs +
+		e.Cost.ReduceRecordUs*(out.recordsIn+out.recordsOut) +
+		e.Cost.ShuffleRecordUs*out.recordsIn +
+		e.Cost.DigestRecordUs*out.digested
+	commit := func() {
+		e.Metrics.ReduceTasks++
+		e.Metrics.LocalBytesRead += localBytes
+		e.Metrics.DigestRecords += out.digested
+		e.Metrics.RecordsOut += out.recordsOut
+		e.writeOutput(js, partFileName(ReduceTask, 0, t.Index), out.outLines)
+		js.redsDone++
+		if js.redsDone == js.redsTotal {
+			e.completeJob(js)
+		}
+	}
+	return dur, commit
+}
+
+// writeOutput persists task output and accounts the HDFS write.
+func (e *Engine) writeOutput(js *JobState, part string, lines []string) {
+	path := joinPath(js.Spec.Output, part)
+	e.FS.Append(path, lines...)
+	e.Metrics.HDFSBytesWritten += linesBytes(lines)
+}
+
+// completeJob finishes a job and unblocks dependents.
+func (e *Engine) completeJob(js *JobState) {
+	js.Done = true
+	js.DoneTime = e.now
+	// Release any attempts still occupying slots (hung originals whose
+	// work was rescued by a backup).
+	for tid, rts := range js.running {
+		for _, rt := range rts {
+			rt.dead = true
+			e.freeSlots[rt.node]++
+		}
+		delete(js.running, tid)
+	}
+	e.Metrics.JobsCompleted++
+	for _, dep := range js.dependents {
+		dep.depsLeft--
+		if dep.depsLeft == 0 {
+			e.makeRunnable(dep)
+		}
+	}
+	if e.OnJobDone != nil {
+		e.OnJobDone(js)
+	}
+}
+
+// KillJob aborts a job: running tasks are torn down (their slots free
+// immediately, matching Hadoop's task kill), queued tasks are dropped,
+// and its output so far is left in place for inspection.
+func (e *Engine) KillJob(id string) {
+	js := e.jobs[id]
+	if js == nil || js.Done || js.Killed {
+		return
+	}
+	js.Killed = true
+	for tid, rts := range js.running {
+		for _, rt := range rts {
+			rt.dead = true
+			e.freeSlots[rt.node]++
+		}
+		delete(js.running, tid)
+	}
+	var keep []*Task
+	for _, t := range e.ready {
+		if t.Job != js {
+			keep = append(keep, t)
+		}
+	}
+	e.ready = keep
+	e.armTick()
+}
+
+// Run processes events until the queue drains. Jobs hung on omission
+// faults leave the queue empty with jobs incomplete — callers arm
+// timeouts via After to regain control (the verifier does, §4.2 step 6).
+func (e *Engine) Run() {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		e.now = ev.at
+		ev.fn()
+	}
+}
+
+// FreeSlotsTotal sums currently free task slots across the cluster; when
+// the engine is idle it must equal the cluster's total capacity (an
+// invariant the tests check under faults, kills and speculation).
+func (e *Engine) FreeSlotsTotal() int {
+	total := 0
+	for _, n := range e.Cluster.Nodes() {
+		total += e.freeSlots[n.ID]
+	}
+	return total
+}
+
+// Idle reports whether no job is runnable, running, or pending.
+func (e *Engine) Idle() bool {
+	for _, js := range e.jobs {
+		if !js.Done && !js.Killed {
+			return false
+		}
+	}
+	return true
+}

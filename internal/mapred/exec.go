@@ -1,0 +1,389 @@
+package mapred
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+
+	"clusterbft/internal/digest"
+	"clusterbft/internal/pig"
+	"clusterbft/internal/tuple"
+)
+
+// interRec is one shuffled record: its extracted key (canonical string
+// for partitioning/grouping plus decoded values for key expressions), the
+// join tag, and the payload tuple.
+type interRec struct {
+	keyStr string
+	key    tuple.Tuple
+	tag    int
+	t      tuple.Tuple
+}
+
+// bytes estimates the serialized size of the record for local-I/O
+// accounting (key + payload + framing).
+func (r interRec) bytes() int64 {
+	return int64(len(r.keyStr)) + int64(len(tuple.EncodeLine(r.t))) + 2
+}
+
+// digestFactory builds the digest writer for one verification point of
+// the running task; nil disables digests.
+type digestFactory func(point int) *digest.Writer
+
+// opChain executes a physical operator chain over a tuple stream,
+// feeding PhysDigest points into their writers.
+type opChain struct {
+	ops     []Op
+	writers []*digest.Writer // parallel to ops; non-nil only for digests
+	passed  []int64          // parallel to ops; PhysLimit counters
+	digests int64            // records folded into digest writers
+}
+
+func newOpChain(ops []Op, df digestFactory) *opChain {
+	c := &opChain{
+		ops:     ops,
+		writers: make([]*digest.Writer, len(ops)),
+		passed:  make([]int64, len(ops)),
+	}
+	if df != nil {
+		for i, op := range ops {
+			if op.Kind == PhysDigest {
+				c.writers[i] = df(op.Point)
+			}
+		}
+	}
+	return c
+}
+
+// apply runs one tuple through the chain; ok is false when the tuple was
+// dropped (filter miss or limit exhausted).
+func (c *opChain) apply(t tuple.Tuple) (tuple.Tuple, bool) {
+	for i, op := range c.ops {
+		switch op.Kind {
+		case PhysFilter:
+			if !op.Pred.Eval(t).Truthy() {
+				return nil, false
+			}
+		case PhysProject:
+			out := make(tuple.Tuple, len(op.Gens))
+			for g, gen := range op.Gens {
+				out[g] = gen.Expr.Eval(t)
+			}
+			t = out
+		case PhysDigest:
+			if c.writers[i] != nil {
+				c.writers[i].Add(t)
+				c.digests++
+			}
+		case PhysLimit:
+			if c.passed[i] >= op.Limit {
+				return nil, false
+			}
+			c.passed[i]++
+		case PhysSample:
+			if !sampleKeep(t, op.Fraction) {
+				return nil, false
+			}
+		}
+	}
+	return t, true
+}
+
+// close finalizes all digest writers in the chain.
+func (c *opChain) close() {
+	for _, w := range c.writers {
+		if w != nil {
+			w.Close()
+		}
+	}
+}
+
+// sampleKeep deterministically selects a fraction of tuples by hashing
+// their canonical bytes, so every replica samples the same subset and
+// digests stay comparable (§5.4 determinism requirement).
+func sampleKeep(t tuple.Tuple, fraction float64) bool {
+	h := fnv.New64a()
+	h.Write(tuple.AppendCanonical(nil, t))
+	const buckets = 1 << 20
+	return h.Sum64()%buckets < uint64(fraction*buckets)
+}
+
+// partitionOf hash-partitions a shuffle key string.
+func partitionOf(keyStr string, numReduces int) int {
+	if numReduces <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(keyStr))
+	return int(h.Sum32() % uint32(numReduces))
+}
+
+// extractKey projects the shuffle key out of a post-chain tuple.
+func extractKey(t tuple.Tuple, keyCols []int) (string, tuple.Tuple) {
+	key := make(tuple.Tuple, len(keyCols))
+	for i, c := range keyCols {
+		if c < len(t) {
+			key[i] = t[c]
+		} else {
+			key[i] = tuple.Null()
+		}
+	}
+	return tuple.EncodeLine(key), key
+}
+
+// mapOutcome carries the effects of one executed map task.
+type mapOutcome struct {
+	partitions [][]interRec // shuffle jobs: per-reduce-partition records
+	outLines   []string     // map-only jobs: final output records
+	recordsIn  int64
+	recordsOut int64
+	digested   int64
+	localBytes int64 // shuffle bytes written
+}
+
+// corruptFn tampers tuples at the task source; nil for honest execution.
+type corruptFn func(tuple.Tuple) tuple.Tuple
+
+// runMapTask executes one map task over its split's raw lines.
+func runMapTask(job *JobSpec, inputIdx int, lines []string, df digestFactory, corrupt corruptFn) *mapOutcome {
+	in := &job.Inputs[inputIdx]
+	chain := newOpChain(in.Ops, df)
+	defer chain.close()
+	out := &mapOutcome{}
+	shuffle := in.KeyCols != nil
+	if shuffle {
+		out.partitions = make([][]interRec, job.NumReduces)
+	}
+	for _, line := range lines {
+		t := tuple.DecodeLine(line, in.Schema)
+		out.recordsIn++
+		if corrupt != nil {
+			t = corrupt(t)
+		}
+		t, ok := chain.apply(t)
+		if !ok {
+			continue
+		}
+		out.recordsOut++
+		if shuffle {
+			keyStr, key := extractKey(t, in.KeyCols)
+			rec := interRec{keyStr: keyStr, key: key, tag: in.Tag, t: t}
+			p := partitionOf(keyStr, job.NumReduces)
+			out.partitions[p] = append(out.partitions[p], rec)
+			out.localBytes += rec.bytes()
+		} else {
+			out.outLines = append(out.outLines, tuple.EncodeLine(t))
+		}
+	}
+	out.digested = chain.digests
+	return out
+}
+
+// reduceOutcome carries the effects of one executed reduce task.
+type reduceOutcome struct {
+	outLines   []string
+	recordsIn  int64
+	recordsOut int64
+	digested   int64
+}
+
+// runReduceTask executes one reduce task over its partition's records,
+// which the caller supplies in deterministic map-task order (the engine's
+// stand-in for the paper's §5.4 "order intermediate output by mapper id"
+// determinism fix).
+func runReduceTask(spec *ReduceSpec, records []interRec, df digestFactory) (*reduceOutcome, error) {
+	chain := newOpChain(spec.PostOps, df)
+	defer chain.close()
+	out := &reduceOutcome{recordsIn: int64(len(records))}
+	emit := func(t tuple.Tuple) {
+		if t, ok := chain.apply(t); ok {
+			out.recordsOut++
+			out.outLines = append(out.outLines, tuple.EncodeLine(t))
+		}
+	}
+
+	switch spec.Kind {
+	case ReduceSort:
+		tuples := make([]tuple.Tuple, len(records))
+		for i, r := range records {
+			tuples[i] = r.t
+		}
+		if len(spec.OrderBy) > 0 {
+			sort.SliceStable(tuples, func(i, j int) bool {
+				return orderLess(tuples[i], tuples[j], spec.OrderBy)
+			})
+		}
+		for _, t := range tuples {
+			emit(t)
+		}
+	case ReduceDistinct:
+		seen := make(map[string]bool, len(records))
+		keys := make([]string, 0, len(records))
+		byKey := make(map[string]tuple.Tuple, len(records))
+		for _, r := range records {
+			if !seen[r.keyStr] {
+				seen[r.keyStr] = true
+				keys = append(keys, r.keyStr)
+				byKey[r.keyStr] = r.t
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			emit(byKey[k])
+		}
+	case ReduceAggregate, ReduceJoin:
+		groups := make(map[string][]interRec)
+		keys := make([]string, 0)
+		for _, r := range records {
+			if _, ok := groups[r.keyStr]; !ok {
+				keys = append(keys, r.keyStr)
+			}
+			groups[r.keyStr] = append(groups[r.keyStr], r)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			group := groups[k]
+			if spec.Kind == ReduceAggregate {
+				emit(aggregateGroup(spec.Gens, group))
+				continue
+			}
+			var left, right []tuple.Tuple
+			for _, r := range group {
+				if r.tag == 0 {
+					left = append(left, r.t)
+				} else {
+					right = append(right, r.t)
+				}
+			}
+			for _, l := range left {
+				for _, r := range right {
+					emit(tuple.Concat(l, r))
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("mapred: unknown reduce kind %v", spec.Kind)
+	}
+	out.digested = chain.digests
+	return out, nil
+}
+
+func orderLess(a, b tuple.Tuple, keys []pig.OrderKey) bool {
+	for _, k := range keys {
+		var av, bv tuple.Value
+		if k.Col < len(a) {
+			av = a[k.Col]
+		}
+		if k.Col < len(b) {
+			bv = b[k.Col]
+		}
+		c := tuple.Compare(av, bv)
+		if c == 0 {
+			continue
+		}
+		if k.Desc {
+			return c > 0
+		}
+		return c < 0
+	}
+	return false
+}
+
+// aggregateGroup evaluates one grouped FOREACH row: key expressions over
+// the group key, aggregates over the bag.
+func aggregateGroup(gens []pig.GenItem, group []interRec) tuple.Tuple {
+	key := group[0].key
+	out := make(tuple.Tuple, len(gens))
+	for i, gen := range gens {
+		if gen.Agg == nil {
+			out[i] = gen.Expr.Eval(key)
+			continue
+		}
+		out[i] = applyAggregate(gen.Agg, group)
+	}
+	return out
+}
+
+func applyAggregate(agg *pig.Aggregate, group []interRec) tuple.Value {
+	switch agg.Func {
+	case "count":
+		return tuple.Int(int64(len(group)))
+	case "sum", "avg":
+		sum := tuple.Int(0)
+		for _, r := range group {
+			sum = tuple.Add(sum, colOf(r.t, agg.ColIdx))
+		}
+		if agg.Func == "sum" {
+			return sum
+		}
+		// AVG uses the same integer-division determinism workaround as
+		// the paper's prototype (§5.4) when operands are integral.
+		return tuple.Div(sum, tuple.Int(int64(len(group))))
+	case "min", "max":
+		best := colOf(group[0].t, agg.ColIdx)
+		for _, r := range group[1:] {
+			v := colOf(r.t, agg.ColIdx)
+			c := tuple.Compare(v, best)
+			if (agg.Func == "min" && c < 0) || (agg.Func == "max" && c > 0) {
+				best = v
+			}
+		}
+		return best
+	default:
+		return tuple.Null()
+	}
+}
+
+func colOf(t tuple.Tuple, idx int) tuple.Value {
+	if idx >= 0 && idx < len(t) {
+		return t[idx]
+	}
+	return tuple.Null()
+}
+
+// linesBytes sums serialized record sizes (records + newlines).
+func linesBytes(lines []string) int64 {
+	var n int64
+	for _, l := range lines {
+		n += int64(len(l)) + 1
+	}
+	return n
+}
+
+// splitLines partitions a record count into deterministic contiguous
+// splits of at most per records; n==0 yields one empty split so that
+// empty inputs still produce a (digest-reporting) task.
+func splitLines(n, per int) [][2]int {
+	if per <= 0 {
+		per = 10000
+	}
+	if n == 0 {
+		return [][2]int{{0, 0}}
+	}
+	var out [][2]int
+	for start := 0; start < n; start += per {
+		end := start + per
+		if end > n {
+			end = n
+		}
+		out = append(out, [2]int{start, end})
+	}
+	return out
+}
+
+// joinPartitionName keeps part-file names sortable and unique per task.
+func partFileName(kind TaskKind, inputIdx, index int) string {
+	if kind == MapTask {
+		return fmt.Sprintf("part-m-%d-%05d", inputIdx, index)
+	}
+	return fmt.Sprintf("part-r-%05d", index)
+}
+
+// cleanPath normalizes a DFS path for prefix joins.
+func joinPath(prefix, p string) string {
+	if prefix == "" {
+		return p
+	}
+	return strings.TrimSuffix(prefix, "/") + "/" + strings.TrimPrefix(p, "/")
+}

@@ -1,0 +1,42 @@
+package mapred
+
+import (
+	"clusterbft/internal/cluster"
+)
+
+// Scheduler picks which legal task a node's free slot runs next. The
+// engine has already enforced the safety constraint (no two replicas of
+// one sub-graph on the same node, §5.3); schedulers express policy on the
+// remaining candidates. Implementations correspond to Hadoop's pluggable
+// TaskScheduler (§5.3).
+type Scheduler interface {
+	// Pick returns the task node should run next, or nil to leave the
+	// slot idle this heartbeat. candidates is non-empty and ordered by
+	// readiness (FIFO).
+	Pick(node *cluster.Node, candidates []*Task) *Task
+}
+
+// FIFOScheduler runs the oldest ready task, like Hadoop's default
+// JobQueueTaskScheduler.
+type FIFOScheduler struct{}
+
+// Pick returns the first candidate.
+func (FIFOScheduler) Pick(_ *cluster.Node, candidates []*Task) *Task {
+	return candidates[0]
+}
+
+// LocalityScheduler prefers tasks whose input split is hosted on the
+// offering node, falling back to FIFO; used by the ablation benches to
+// quantify the value of data-local execution (§4.2: "data local tasks
+// enable faster execution").
+type LocalityScheduler struct{}
+
+// Pick prefers node-local splits.
+func (LocalityScheduler) Pick(node *cluster.Node, candidates []*Task) *Task {
+	for _, t := range candidates {
+		if t.Home == node.ID {
+			return t
+		}
+	}
+	return candidates[0]
+}

@@ -1,0 +1,192 @@
+package mapred
+
+import (
+	"fmt"
+	"testing"
+
+	"clusterbft/internal/cluster"
+	"clusterbft/internal/dfs"
+	"clusterbft/internal/pig"
+)
+
+// specFixture builds an engine over enough data for multiple map tasks.
+func specFixture(t *testing.T, nodes, slots int, speculation bool) (*Engine, []*JobSpec) {
+	t.Helper()
+	fs := dfs.New()
+	var lines []string
+	for i := 0; i < 30000; i++ { // 3 map splits
+		lines = append(lines, fmt.Sprintf("%d\t%d", i%50, i))
+	}
+	fs.Append("in/edges", lines...)
+	p, err := compileHelper(followerSrc, CompileOptions{NumReduces: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(fs, cluster.New(nodes, slots), nil, DefaultCostModel())
+	eng.Speculation = speculation
+	return eng, p
+}
+
+func compileHelper(src string, opts CompileOptions) ([]*JobSpec, error) {
+	pl, err := parseHelper(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(pl, opts)
+}
+
+func TestSpeculationRescuesOmission(t *testing.T) {
+	eng, jobs := specFixture(t, 6, 2, true)
+	// One omission node: any task landing there hangs; with speculation
+	// a backup on another node completes the job anyway.
+	if err := eng.Cluster.SetAdversary("node-001", cluster.FaultOmission, 1.0, 3); err != nil {
+		t.Fatal(err)
+	}
+	js, err := eng.Submit(jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if eng.Metrics.TasksHung == 0 {
+		t.Skip("omission node got no tasks in this layout")
+	}
+	if !js.Done {
+		t.Fatal("speculation failed to rescue the job from a hung task")
+	}
+	if eng.Metrics.SpeculativeTasks == 0 {
+		t.Error("no backup tasks counted")
+	}
+}
+
+func TestNoSpeculationLeavesJobHung(t *testing.T) {
+	eng, jobs := specFixture(t, 6, 2, false)
+	if err := eng.Cluster.SetAdversary("node-001", cluster.FaultOmission, 1.0, 3); err != nil {
+		t.Fatal(err)
+	}
+	js, err := eng.Submit(jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if eng.Metrics.TasksHung == 0 {
+		t.Skip("omission node got no tasks in this layout")
+	}
+	if js.Done {
+		t.Fatal("without speculation a hung task must stall the job")
+	}
+}
+
+func TestSlowFaultStretchesLatency(t *testing.T) {
+	run := func(slow bool) int64 {
+		eng, jobs := specFixture(t, 4, 2, false)
+		if slow {
+			for _, n := range eng.Cluster.Nodes() {
+				n.Adversary = cluster.NewAdversary(cluster.FaultSlow, 1.0, 1)
+				n.Adversary.SlowFactor = 5
+			}
+		}
+		js, err := eng.Submit(jobs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		if !js.Done {
+			t.Fatal("job incomplete")
+		}
+		return js.Latency()
+	}
+	fast, stretched := run(false), run(true)
+	if stretched < 3*fast {
+		t.Errorf("5x stragglers everywhere should stretch latency: %d vs %d", stretched, fast)
+	}
+}
+
+func TestSlowFaultOutputUnchanged(t *testing.T) {
+	honest, honestJobs := specFixture(t, 4, 2, false)
+	if _, err := honest.Submit(honestJobs[0]); err != nil {
+		t.Fatal(err)
+	}
+	honest.Run()
+	want, err := honest.FS.ReadTree("out/counts")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	slowEng, slowJobs := specFixture(t, 4, 2, false)
+	slowEng.Cluster.Nodes()[0].Adversary = cluster.NewAdversary(cluster.FaultSlow, 1.0, 1)
+	if _, err := slowEng.Submit(slowJobs[0]); err != nil {
+		t.Fatal(err)
+	}
+	slowEng.Run()
+	got, err := slowEng.FS.ReadTree("out/counts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("output sizes differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("line %d differs: %q vs %q (stragglers are benign)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSpeculationAgainstStraggler(t *testing.T) {
+	// A single straggler node: with speculation the job finishes much
+	// closer to the honest latency because the backup overtakes.
+	run := func(speculation bool) int64 {
+		eng, jobs := specFixture(t, 6, 2, speculation)
+		adv := cluster.NewAdversary(cluster.FaultSlow, 1.0, 1)
+		adv.SlowFactor = 20
+		eng.Cluster.Nodes()[1].Adversary = adv
+		js, err := eng.Submit(jobs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		if !js.Done {
+			t.Fatal("job incomplete")
+		}
+		return js.Latency()
+	}
+	without := run(false)
+	with := run(true)
+	if with >= without {
+		t.Errorf("speculation should beat a 20x straggler: with=%d without=%d", with, without)
+	}
+}
+
+func TestSpeculationDeterministic(t *testing.T) {
+	run := func() (int64, int64) {
+		eng, jobs := specFixture(t, 6, 2, true)
+		adv := cluster.NewAdversary(cluster.FaultSlow, 1.0, 1)
+		adv.SlowFactor = 20
+		eng.Cluster.Nodes()[1].Adversary = adv
+		js, _ := eng.Submit(jobs[0])
+		eng.Run()
+		return js.Latency(), eng.Metrics.SpeculativeTasks
+	}
+	l1, s1 := run()
+	l2, s2 := run()
+	if l1 != l2 || s1 != s2 {
+		t.Errorf("speculation nondeterministic: (%d,%d) vs (%d,%d)", l1, s1, l2, s2)
+	}
+}
+
+func TestAdversarySlowdownDefault(t *testing.T) {
+	a := cluster.NewAdversary(cluster.FaultSlow, 1.0, 1)
+	if a.Slowdown() != 4 {
+		t.Errorf("default slowdown = %v, want 4", a.Slowdown())
+	}
+	a.SlowFactor = 7
+	if a.Slowdown() != 7 {
+		t.Errorf("explicit slowdown = %v", a.Slowdown())
+	}
+	var nilAdv *cluster.Adversary
+	if nilAdv.Slowdown() != 4 {
+		t.Error("nil adversary slowdown should default")
+	}
+}
+
+func parseHelper(src string) (*pig.Plan, error) { return pig.Parse(src) }

@@ -1,0 +1,248 @@
+package pig
+
+import (
+	"strings"
+	"testing"
+
+	"clusterbft/internal/tuple"
+)
+
+// parseTestExpr parses a standalone expression via the parser internals.
+func parseTestExpr(t *testing.T, src string) Expr {
+	t.Helper()
+	toks, err := lexAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &parser{toks: toks, plan: newPlan()}
+	e, err := p.parseExpr()
+	if err != nil {
+		t.Fatalf("parseExpr(%q): %v", src, err)
+	}
+	return e
+}
+
+func evalOn(t *testing.T, src string, s *tuple.Schema, row tuple.Tuple) tuple.Value {
+	t.Helper()
+	e := parseTestExpr(t, src)
+	if err := e.Bind(s); err != nil {
+		t.Fatalf("Bind(%q): %v", src, err)
+	}
+	return e.Eval(row)
+}
+
+var exprSchema = tuple.NewSchema("a", "b", "s")
+
+func row(a, b int64, s string) tuple.Tuple {
+	return tuple.Tuple{tuple.Int(a), tuple.Int(b), tuple.Str(s)}
+}
+
+func TestExprArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"a + b", 7},
+		{"a - b", 3},
+		{"a * b", 10},
+		{"a / b", 2},
+		{"a % b", 1},
+		{"a + b * 2", 9},    // precedence
+		{"(a + b) * 2", 14}, // parens
+		{"-a + b", -3},      // unary minus
+		{"a - -b", 7},       // double negative
+	}
+	for _, c := range cases {
+		got := evalOn(t, c.src, exprSchema, row(5, 2, "x"))
+		if got.Int() != c.want {
+			t.Errorf("%q = %v, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestExprComparisons(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"a == 5", true},
+		{"a != 5", false},
+		{"a < 6", true},
+		{"a <= 5", true},
+		{"a > 5", false},
+		{"a >= 5", true},
+		{"s == 'x'", true},
+		{"s != ''", true},
+	}
+	for _, c := range cases {
+		got := evalOn(t, c.src, exprSchema, row(5, 2, "x"))
+		if got.Truthy() != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestExprLogical(t *testing.T) {
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"a == 5 AND b == 2", true},
+		{"a == 5 and b == 3", false},
+		{"a == 9 OR b == 2", true},
+		{"NOT (a == 5)", false},
+		{"NOT a == 9 AND b == 2", true},
+		{"a == 9 OR a == 5 AND b == 2", true}, // AND binds tighter
+	}
+	for _, c := range cases {
+		got := evalOn(t, c.src, exprSchema, row(5, 2, "x"))
+		if got.Truthy() != c.want {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestExprScalarFunctions(t *testing.T) {
+	s := tuple.NewSchema("a", "b", "s")
+	r := tuple.Tuple{tuple.Int(-4), tuple.Float(3.9), tuple.Str("Hi")}
+	cases := []struct {
+		src  string
+		want tuple.Value
+	}{
+		{"ABS(a)", tuple.Int(4)},
+		{"TRUNC(b)", tuple.Int(3)},
+		{"CONCAT(s, '!')", tuple.Str("Hi!")},
+		{"SIZE(s)", tuple.Int(2)},
+		{"UPPER(s)", tuple.Str("HI")},
+		{"LOWER(s)", tuple.Str("hi")},
+	}
+	for _, c := range cases {
+		e := parseTestExpr(t, c.src)
+		if err := e.Bind(s); err != nil {
+			t.Fatalf("Bind(%q): %v", c.src, err)
+		}
+		got := e.Eval(r)
+		if !tuple.Equal(got, c.want) {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestExprUnknownFunction(t *testing.T) {
+	e := parseTestExpr(t, "NOPE(a)")
+	if err := e.Bind(exprSchema); err == nil {
+		t.Error("unknown function should fail Bind")
+	}
+}
+
+func TestExprArityError(t *testing.T) {
+	e := parseTestExpr(t, "CONCAT(a)")
+	if err := e.Bind(exprSchema); err == nil || !strings.Contains(err.Error(), "argument") {
+		t.Errorf("arity check: %v", err)
+	}
+}
+
+func TestColPositional(t *testing.T) {
+	got := evalOn(t, "$1", exprSchema, row(5, 2, "x"))
+	if got.Int() != 2 {
+		t.Errorf("$1 = %v", got)
+	}
+	e := parseTestExpr(t, "$9")
+	if err := e.Bind(exprSchema); err == nil {
+		t.Error("out-of-range positional should fail Bind")
+	}
+}
+
+func TestColUnknown(t *testing.T) {
+	e := parseTestExpr(t, "zzz")
+	if err := e.Bind(exprSchema); err == nil {
+		t.Error("unknown column should fail Bind")
+	}
+}
+
+func TestColSuffixMatch(t *testing.T) {
+	s := tuple.NewSchema("A::user", "B::user", "A::id")
+	// "id" matches only A::id.
+	c := &Col{Name: "id"}
+	if err := c.Bind(s); err != nil {
+		t.Fatal(err)
+	}
+	if c.Index() != 2 {
+		t.Errorf("suffix match index = %d", c.Index())
+	}
+	// "user" is ambiguous.
+	amb := &Col{Name: "user"}
+	if err := amb.Bind(s); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguity: %v", err)
+	}
+	// Exact qualified reference works.
+	q := &Col{Name: "B::user"}
+	if err := q.Bind(s); err != nil || q.Index() != 1 {
+		t.Errorf("qualified bind: %v idx=%d", err, q.Index())
+	}
+}
+
+func TestColShortTupleYieldsNull(t *testing.T) {
+	c := &Col{Name: "b"}
+	if err := c.Bind(exprSchema); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Eval(tuple.Tuple{tuple.Int(1)}).IsNull() {
+		t.Error("reference past tuple end should be null")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"a + b", "(a + b)"},
+		{"NOT a", "not(a)"},
+		{"'lit'", "'lit'"},
+		{"3", "3"},
+		{"CONCAT(a, b)", "CONCAT(a, b)"},
+	}
+	for _, c := range cases {
+		if got := parseTestExpr(t, c.src).String(); got != c.want {
+			t.Errorf("String(%q) = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestFloatLiteral(t *testing.T) {
+	got := evalOn(t, "b + 0.5", exprSchema, row(0, 2, ""))
+	if got.Kind() != tuple.KindFloat || got.Float() != 2.5 {
+		t.Errorf("float literal eval = %v", got)
+	}
+}
+
+func TestIsAggregateFunc(t *testing.T) {
+	for _, name := range []string{"COUNT", "count", "Sum", "avg", "MIN", "max"} {
+		if !IsAggregateFunc(name) {
+			t.Errorf("%q should be aggregate", name)
+		}
+	}
+	if IsAggregateFunc("concat") {
+		t.Error("concat is not an aggregate")
+	}
+}
+
+func TestLogicalShortCircuit(t *testing.T) {
+	// Right side references an out-of-schema positional that would panic
+	// if evaluated without binding; short circuit avoids evaluating it.
+	s := tuple.NewSchema("a")
+	e := &Binary{Op: "and", L: &Lit{V: tuple.Bool(false)}, R: &Col{Name: "a"}}
+	if err := e.Bind(s); err != nil {
+		t.Fatal(err)
+	}
+	if e.Eval(tuple.Tuple{tuple.Int(1)}).Truthy() {
+		t.Error("false AND x must be false")
+	}
+	or := &Binary{Op: "or", L: &Lit{V: tuple.Bool(true)}, R: &Col{Name: "a"}}
+	if err := or.Bind(s); err != nil {
+		t.Fatal(err)
+	}
+	if !or.Eval(tuple.Tuple{tuple.Int(0)}).Truthy() {
+		t.Error("true OR x must be true")
+	}
+}

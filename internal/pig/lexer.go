@@ -1,0 +1,244 @@
+// Package pig implements the PigLatin-subset data-flow language ClusterBFT
+// scripts are written in (paper §2.2): a lexer, a recursive-descent parser,
+// an expression evaluator, and a logical-plan DAG with schema propagation.
+// The logical plan is the structure the graph analyzer (internal/analyze)
+// places verification points on and the compiler (internal/mapred) turns
+// into MapReduce jobs.
+package pig
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "EOF"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokSymbol:
+		return "symbol"
+	default:
+		return "token"
+	}
+}
+
+// token is one lexical token with its source line for error reporting.
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// isKeyword reports whether an identifier token equals the given keyword,
+// case-insensitively (PigLatin keywords are case-insensitive).
+func (t token) isKeyword(kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}
+
+func (t token) isSymbol(sym string) bool {
+	return t.kind == tokSymbol && t.text == sym
+}
+
+// lexer scans script source into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1}
+}
+
+// lexError reports a malformed token.
+type lexError struct {
+	line int
+	msg  string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("pig: line %d: %s", e.line, e.msg)
+}
+
+// next returns the next token, skipping whitespace and comments
+// (both "-- line" and "/* block */" forms).
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		return l.lexIdent(), nil
+	case c >= '0' && c <= '9':
+		return l.lexNumber(), nil
+	case c == '\'':
+		return l.lexString()
+	default:
+		return l.lexSymbol()
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			l.pos += 2
+			for l.pos+1 < len(l.src) && !(l.src[l.pos] == '*' && l.src[l.pos+1] == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			l.pos += 2
+			if l.pos > len(l.src) {
+				l.pos = len(l.src)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c == '$' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (l *lexer) lexIdent() token {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	// Allow alias::column compound names as a single identifier token.
+	for l.pos+2 < len(l.src) && l.src[l.pos] == ':' && l.src[l.pos+1] == ':' && isIdentStart(l.src[l.pos+2]) {
+		l.pos += 2
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+	}
+	return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}
+}
+
+func (l *lexer) lexNumber() token {
+	start := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+	}
+	return token{kind: tokNumber, text: l.src[start:l.pos], line: l.line}
+}
+
+func (l *lexer) lexString() (token, error) {
+	line := l.line
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '\'':
+			l.pos++
+			return token{kind: tokString, text: b.String(), line: line}, nil
+		case '\\':
+			if l.pos+1 < len(l.src) {
+				l.pos++
+				switch l.src[l.pos] {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				default:
+					b.WriteByte(l.src[l.pos])
+				}
+			}
+			l.pos++
+		case '\n':
+			return token{}, &lexError{line: line, msg: "unterminated string literal"}
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, &lexError{line: line, msg: "unterminated string literal"}
+}
+
+// twoCharSymbols are multi-character operators, longest match first.
+var twoCharSymbols = []string{"==", "!=", "<=", ">="}
+
+func (l *lexer) lexSymbol() (token, error) {
+	for _, s := range twoCharSymbols {
+		if strings.HasPrefix(l.src[l.pos:], s) {
+			tok := token{kind: tokSymbol, text: s, line: l.line}
+			l.pos += len(s)
+			return tok, nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '=', ';', '(', ')', ',', '<', '>', '+', '-', '*', '/', '%', '.', ':':
+		l.pos++
+		return token{kind: tokSymbol, text: string(c), line: l.line}, nil
+	default:
+		return token{}, &lexError{line: l.line, msg: fmt.Sprintf("unexpected character %q", c)}
+	}
+}
+
+// lexAll tokenizes the whole source, returning the token stream including
+// the trailing EOF token.
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package pig
+
+import (
+	"testing"
+)
+
+func lexTexts(t *testing.T, src string) []string {
+	t.Helper()
+	toks, err := lexAll(src)
+	if err != nil {
+		t.Fatalf("lexAll(%q): %v", src, err)
+	}
+	out := make([]string, 0, len(toks)-1)
+	for _, tok := range toks[:len(toks)-1] {
+		out = append(out, tok.text)
+	}
+	return out
+}
+
+func TestLexBasicStatement(t *testing.T) {
+	got := lexTexts(t, "a = LOAD 'in' AS (x:int);")
+	want := []string{"a", "=", "LOAD", "in", "AS", "(", "x", ":", "int", ")", ";"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	got := lexTexts(t, "== != <= >= < > + - * / %")
+	want := []string{"==", "!=", "<=", ">=", "<", ">", "+", "-", "*", "/", "%"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := lexAll("42 3.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokNumber || toks[0].text != "42" {
+		t.Errorf("int token: %+v", toks[0])
+	}
+	if toks[1].kind != tokNumber || toks[1].text != "3.5" {
+		t.Errorf("float token: %+v", toks[1])
+	}
+}
+
+func TestLexNumberDotNotDecimal(t *testing.T) {
+	// "1." followed by non-digit must not absorb the dot.
+	toks, err := lexAll("b.col")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "b" || toks[1].text != "." || toks[2].text != "col" {
+		t.Errorf("tokens: %v %v %v", toks[0], toks[1], toks[2])
+	}
+}
+
+func TestLexQualifiedIdent(t *testing.T) {
+	toks, err := lexAll("A::user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].kind != tokIdent || toks[0].text != "A::user" {
+		t.Errorf("qualified ident lexed as %+v", toks[0])
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks, err := lexAll(`'a\tb\nc\'d'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].text != "a\tb\nc'd" {
+		t.Errorf("string = %q", toks[0].text)
+	}
+}
+
+func TestLexUnterminatedString(t *testing.T) {
+	if _, err := lexAll("'oops"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	if _, err := lexAll("'oops\nmore'"); err == nil {
+		t.Error("newline in string should fail")
+	}
+}
+
+func TestLexLineComments(t *testing.T) {
+	got := lexTexts(t, "a -- comment here\n= b;")
+	want := []string{"a", "=", "b", ";"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v", got)
+	}
+}
+
+func TestLexBlockComments(t *testing.T) {
+	got := lexTexts(t, "a /* multi\nline */ = b;")
+	if len(got) != 4 || got[0] != "a" || got[1] != "=" {
+		t.Fatalf("tokens = %v", got)
+	}
+	toks, _ := lexAll("a /* multi\nline */ = b;")
+	if toks[1].line != 2 {
+		t.Errorf("line tracking through block comment: line = %d, want 2", toks[1].line)
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	if _, err := lexAll("a @ b"); err == nil {
+		t.Error("lexer should reject '@'")
+	}
+}
+
+func TestLexLineNumbers(t *testing.T) {
+	toks, err := lexAll("a\nb\n\nc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLines := []int{1, 2, 4}
+	for i, w := range wantLines {
+		if toks[i].line != w {
+			t.Errorf("token %d line = %d, want %d", i, toks[i].line, w)
+		}
+	}
+}
+
+func TestLexEOFStable(t *testing.T) {
+	l := newLexer("")
+	for i := 0; i < 3; i++ {
+		tok, err := l.next()
+		if err != nil || tok.kind != tokEOF {
+			t.Fatalf("next() at EOF = %+v, %v", tok, err)
+		}
+	}
+}
+
+func TestTokenKindString(t *testing.T) {
+	kinds := map[tokenKind]string{
+		tokEOF:    "EOF",
+		tokIdent:  "identifier",
+		tokNumber: "number",
+		tokString: "string",
+		tokSymbol: "symbol",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,859 @@
+package pig
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"clusterbft/internal/tuple"
+)
+
+// Parse compiles PigLatin-subset source into a logical plan.
+//
+// Supported statements:
+//
+//	a = LOAD 'path' [USING fn] AS (col[:type], ...);
+//	b = FILTER a BY expr;
+//	c = GROUP b BY col | BY (c1, c2) | ALL;
+//	d = FOREACH c GENERATE item [AS name], ...;
+//	e = JOIN a BY col, b BY col;
+//	f = UNION a, b [, c ...];
+//	g = DISTINCT a;
+//	h = ORDER a BY col [ASC|DESC], ...;
+//	i = LIMIT h 20;
+//	j = SAMPLE a 0.25;
+//	STORE i INTO 'path';
+//
+// Keywords are case-insensitive. Comments: "-- ..." and "/* ... */".
+func Parse(src string) (*Plan, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, plan: newPlan()}
+	if err := p.parseScript(); err != nil {
+		return nil, err
+	}
+	if len(p.plan.Stores()) == 0 {
+		return nil, fmt.Errorf("pig: script has no STORE statement")
+	}
+	return p.plan, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	plan *Plan
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return fmt.Errorf("pig: line %d: %s", t.line, fmt.Sprintf(format, args...))
+}
+
+// expectSymbol consumes the given symbol or fails.
+func (p *parser) expectSymbol(sym string) error {
+	t := p.advance()
+	if !t.isSymbol(sym) {
+		return p.errf(t, "expected %q, found %s", sym, t)
+	}
+	return nil
+}
+
+// expectKeyword consumes the given keyword or fails.
+func (p *parser) expectKeyword(kw string) error {
+	t := p.advance()
+	if !t.isKeyword(kw) {
+		return p.errf(t, "expected %s, found %s", kw, t)
+	}
+	return nil
+}
+
+// expectIdent consumes a non-keyword identifier.
+func (p *parser) expectIdent(what string) (token, error) {
+	t := p.advance()
+	if t.kind != tokIdent {
+		return t, p.errf(t, "expected %s, found %s", what, t)
+	}
+	return t, nil
+}
+
+// expectString consumes a string literal.
+func (p *parser) expectString(what string) (token, error) {
+	t := p.advance()
+	if t.kind != tokString {
+		return t, p.errf(t, "expected %s (quoted string), found %s", what, t)
+	}
+	return t, nil
+}
+
+// lookupAlias resolves a relation alias to its vertex.
+func (p *parser) lookupAlias(t token) (*Vertex, error) {
+	v := p.plan.ByAlias(t.text)
+	if v == nil {
+		return nil, p.errf(t, "unknown alias %q", t.text)
+	}
+	return v, nil
+}
+
+func (p *parser) parseScript() error {
+	for {
+		t := p.peek()
+		switch {
+		case t.kind == tokEOF:
+			return nil
+		case t.isKeyword("STORE"):
+			if err := p.parseStore(); err != nil {
+				return err
+			}
+		case t.kind == tokIdent:
+			if err := p.parseAssign(); err != nil {
+				return err
+			}
+		default:
+			return p.errf(t, "expected statement, found %s", t)
+		}
+	}
+}
+
+func (p *parser) parseStore() error {
+	kw := p.advance() // STORE
+	src, err := p.expectIdent("relation alias")
+	if err != nil {
+		return err
+	}
+	parent, err := p.lookupAlias(src)
+	if err != nil {
+		return err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return err
+	}
+	path, err := p.expectString("output path")
+	if err != nil {
+		return err
+	}
+	if err := p.skipUsing(); err != nil {
+		return err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	if parent.Kind == OpGroup {
+		return p.errf(kw, "cannot STORE a grouped relation directly; add a FOREACH")
+	}
+	p.plan.add(&Vertex{
+		Kind:    OpStore,
+		Line:    kw.line,
+		Path:    path.text,
+		Parents: []*Vertex{parent},
+		Schema:  parent.Schema.Clone(),
+	})
+	return nil
+}
+
+// skipUsing consumes an optional "USING fn('arg', ...)" clause, which we
+// accept for script compatibility and ignore (only the default storage
+// codec exists).
+func (p *parser) skipUsing() error {
+	if !p.peek().isKeyword("USING") {
+		return nil
+	}
+	p.advance()
+	if _, err := p.expectIdent("storage function"); err != nil {
+		return err
+	}
+	if p.peek().isSymbol("(") {
+		depth := 0
+		for {
+			t := p.advance()
+			switch {
+			case t.kind == tokEOF:
+				return p.errf(t, "unterminated USING clause")
+			case t.isSymbol("("):
+				depth++
+			case t.isSymbol(")"):
+				depth--
+				if depth == 0 {
+					return nil
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseAssign() error {
+	alias := p.advance()
+	if err := p.expectSymbol("="); err != nil {
+		return err
+	}
+	op := p.advance()
+	if op.kind != tokIdent {
+		return p.errf(op, "expected operator keyword, found %s", op)
+	}
+	var (
+		v   *Vertex
+		err error
+	)
+	switch strings.ToUpper(op.text) {
+	case "LOAD":
+		v, err = p.parseLoad(alias)
+	case "FILTER":
+		v, err = p.parseFilter(alias)
+	case "GROUP", "COGROUP":
+		v, err = p.parseGroup(alias)
+	case "JOIN":
+		v, err = p.parseJoin(alias)
+	case "FOREACH":
+		v, err = p.parseForEach(alias)
+	case "UNION":
+		v, err = p.parseUnion(alias)
+	case "DISTINCT":
+		v, err = p.parseDistinct(alias)
+	case "ORDER":
+		v, err = p.parseOrder(alias)
+	case "LIMIT":
+		v, err = p.parseLimit(alias)
+	case "SAMPLE":
+		v, err = p.parseSample(alias)
+	default:
+		return p.errf(op, "unsupported operator %q", op.text)
+	}
+	if err != nil {
+		return err
+	}
+	if err := p.expectSymbol(";"); err != nil {
+		return err
+	}
+	p.plan.add(v)
+	return nil
+}
+
+func (p *parser) parseLoad(alias token) (*Vertex, error) {
+	path, err := p.expectString("input path")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.skipUsing(); err != nil {
+		return nil, err
+	}
+	if !p.peek().isKeyword("AS") {
+		return nil, p.errf(p.peek(), "LOAD requires an AS (schema) clause")
+	}
+	p.advance()
+	schema, err := p.parseSchemaDecl()
+	if err != nil {
+		return nil, err
+	}
+	return &Vertex{
+		Kind:   OpLoad,
+		Alias:  alias.text,
+		Line:   alias.line,
+		Path:   path.text,
+		Schema: schema,
+	}, nil
+}
+
+func (p *parser) parseSchemaDecl() (*tuple.Schema, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	s := &tuple.Schema{}
+	for {
+		name, err := p.expectIdent("column name")
+		if err != nil {
+			return nil, err
+		}
+		ft := tuple.TypeAny
+		if p.peek().isSymbol(":") {
+			p.advance()
+			tn, err := p.expectIdent("column type")
+			if err != nil {
+				return nil, err
+			}
+			ft = typeFromName(tn.text)
+		}
+		s.Fields = append(s.Fields, tuple.Field{Name: name.text, Type: ft})
+		t := p.advance()
+		switch {
+		case t.isSymbol(","):
+			continue
+		case t.isSymbol(")"):
+			return s, nil
+		default:
+			return nil, p.errf(t, "expected ',' or ')' in schema, found %s", t)
+		}
+	}
+}
+
+func typeFromName(s string) tuple.FieldType {
+	switch strings.ToLower(s) {
+	case "int", "long":
+		return tuple.TypeInt
+	case "float", "double":
+		return tuple.TypeFloat
+	case "chararray", "bytearray":
+		return tuple.TypeString
+	default:
+		return tuple.TypeAny
+	}
+}
+
+func (p *parser) parseFilter(alias token) (*Vertex, error) {
+	src, err := p.expectIdent("relation alias")
+	if err != nil {
+		return nil, err
+	}
+	parent, err := p.lookupAlias(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	pred, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if parent.Kind == OpGroup {
+		return nil, p.errf(alias, "cannot FILTER a grouped relation")
+	}
+	if err := pred.Bind(parent.Schema); err != nil {
+		return nil, p.errf(alias, "%v", err)
+	}
+	return &Vertex{
+		Kind:    OpFilter,
+		Alias:   alias.text,
+		Line:    alias.line,
+		Pred:    pred,
+		Parents: []*Vertex{parent},
+		Schema:  parent.Schema.Clone(),
+	}, nil
+}
+
+func (p *parser) parseGroup(alias token) (*Vertex, error) {
+	src, err := p.expectIdent("relation alias")
+	if err != nil {
+		return nil, err
+	}
+	parent, err := p.lookupAlias(src)
+	if err != nil {
+		return nil, err
+	}
+	if parent.Kind == OpGroup {
+		return nil, p.errf(src, "cannot GROUP a grouped relation; add a FOREACH first")
+	}
+	v := &Vertex{
+		Kind:    OpGroup,
+		Alias:   alias.text,
+		Line:    alias.line,
+		Parents: []*Vertex{parent},
+	}
+	t := p.advance()
+	switch {
+	case t.isKeyword("ALL"):
+		v.GroupAll = true
+		v.Schema = tuple.NewSchema("group")
+	case t.isKeyword("BY"):
+		names, err := p.parseKeyList()
+		if err != nil {
+			return nil, err
+		}
+		cols, err := resolveCols(parent.Schema, names, alias.line)
+		if err != nil {
+			return nil, err
+		}
+		v.GroupCols = cols
+		ks := &tuple.Schema{}
+		for _, c := range cols {
+			ks.Fields = append(ks.Fields, parent.Schema.Fields[c])
+		}
+		v.Schema = ks
+	default:
+		return nil, p.errf(t, "expected BY or ALL, found %s", t)
+	}
+	return v, nil
+}
+
+// parseKeyList parses "col" or "(c1, c2, ...)".
+func (p *parser) parseKeyList() ([]string, error) {
+	if !p.peek().isSymbol("(") {
+		t, err := p.expectIdent("key column")
+		if err != nil {
+			return nil, err
+		}
+		return []string{t.text}, nil
+	}
+	p.advance()
+	var names []string
+	for {
+		t, err := p.expectIdent("key column")
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, t.text)
+		nxt := p.advance()
+		switch {
+		case nxt.isSymbol(","):
+			continue
+		case nxt.isSymbol(")"):
+			return names, nil
+		default:
+			return nil, p.errf(nxt, "expected ',' or ')', found %s", nxt)
+		}
+	}
+}
+
+func (p *parser) parseJoin(alias token) (*Vertex, error) {
+	var parents []*Vertex
+	var joinCols [][]int
+	for {
+		src, err := p.expectIdent("relation alias")
+		if err != nil {
+			return nil, err
+		}
+		parent, err := p.lookupAlias(src)
+		if err != nil {
+			return nil, err
+		}
+		if parent.Kind == OpGroup {
+			return nil, p.errf(src, "cannot JOIN a grouped relation")
+		}
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		names, err := p.parseKeyList()
+		if err != nil {
+			return nil, err
+		}
+		cols, err := resolveCols(parent.Schema, names, alias.line)
+		if err != nil {
+			return nil, err
+		}
+		parents = append(parents, parent)
+		joinCols = append(joinCols, cols)
+		if !p.peek().isSymbol(",") {
+			break
+		}
+		p.advance()
+	}
+	if len(parents) != 2 {
+		return nil, p.errf(alias, "JOIN requires exactly two inputs, got %d", len(parents))
+	}
+	if len(joinCols[0]) != len(joinCols[1]) {
+		return nil, p.errf(alias, "JOIN key lists have different lengths")
+	}
+	return &Vertex{
+		Kind:     OpJoin,
+		Alias:    alias.text,
+		Line:     alias.line,
+		Parents:  parents,
+		JoinCols: joinCols,
+		Schema:   qualify(parents),
+	}, nil
+}
+
+func (p *parser) parseForEach(alias token) (*Vertex, error) {
+	src, err := p.expectIdent("relation alias")
+	if err != nil {
+		return nil, err
+	}
+	parent, err := p.lookupAlias(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("GENERATE"); err != nil {
+		return nil, err
+	}
+	var gens []GenItem
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		item := GenItem{Expr: e}
+		if p.peek().isKeyword("AS") {
+			p.advance()
+			name, err := p.expectIdent("output column name")
+			if err != nil {
+				return nil, err
+			}
+			item.Name = name.text
+		}
+		gens = append(gens, item)
+		if !p.peek().isSymbol(",") {
+			break
+		}
+		p.advance()
+	}
+	schema, err := bindGens(parent, gens, alias.line)
+	if err != nil {
+		return nil, err
+	}
+	return &Vertex{
+		Kind:    OpForEach,
+		Alias:   alias.text,
+		Line:    alias.line,
+		Parents: []*Vertex{parent},
+		Gens:    gens,
+		Schema:  schema,
+	}, nil
+}
+
+func (p *parser) parseUnion(alias token) (*Vertex, error) {
+	var parents []*Vertex
+	for {
+		src, err := p.expectIdent("relation alias")
+		if err != nil {
+			return nil, err
+		}
+		parent, err := p.lookupAlias(src)
+		if err != nil {
+			return nil, err
+		}
+		if parent.Kind == OpGroup {
+			return nil, p.errf(src, "cannot UNION a grouped relation")
+		}
+		parents = append(parents, parent)
+		if !p.peek().isSymbol(",") {
+			break
+		}
+		p.advance()
+	}
+	if len(parents) < 2 {
+		return nil, p.errf(alias, "UNION requires at least two inputs")
+	}
+	arity := parents[0].Schema.Len()
+	for _, par := range parents[1:] {
+		if par.Schema.Len() != arity {
+			return nil, p.errf(alias, "UNION inputs have mismatched arity (%d vs %d)", arity, par.Schema.Len())
+		}
+	}
+	return &Vertex{
+		Kind:    OpUnion,
+		Alias:   alias.text,
+		Line:    alias.line,
+		Parents: parents,
+		Schema:  parents[0].Schema.Clone(),
+	}, nil
+}
+
+func (p *parser) parseDistinct(alias token) (*Vertex, error) {
+	src, err := p.expectIdent("relation alias")
+	if err != nil {
+		return nil, err
+	}
+	parent, err := p.lookupAlias(src)
+	if err != nil {
+		return nil, err
+	}
+	if parent.Kind == OpGroup {
+		return nil, p.errf(src, "cannot DISTINCT a grouped relation")
+	}
+	return &Vertex{
+		Kind:    OpDistinct,
+		Alias:   alias.text,
+		Line:    alias.line,
+		Parents: []*Vertex{parent},
+		Schema:  parent.Schema.Clone(),
+	}, nil
+}
+
+func (p *parser) parseOrder(alias token) (*Vertex, error) {
+	src, err := p.expectIdent("relation alias")
+	if err != nil {
+		return nil, err
+	}
+	parent, err := p.lookupAlias(src)
+	if err != nil {
+		return nil, err
+	}
+	if parent.Kind == OpGroup {
+		return nil, p.errf(src, "cannot ORDER a grouped relation")
+	}
+	if err := p.expectKeyword("BY"); err != nil {
+		return nil, err
+	}
+	var keys []OrderKey
+	for {
+		name, err := p.expectIdent("order column")
+		if err != nil {
+			return nil, err
+		}
+		cols, err := resolveCols(parent.Schema, []string{name.text}, alias.line)
+		if err != nil {
+			return nil, err
+		}
+		key := OrderKey{Col: cols[0]}
+		if p.peek().isKeyword("DESC") {
+			key.Desc = true
+			p.advance()
+		} else if p.peek().isKeyword("ASC") {
+			p.advance()
+		}
+		keys = append(keys, key)
+		if !p.peek().isSymbol(",") {
+			break
+		}
+		p.advance()
+	}
+	return &Vertex{
+		Kind:    OpOrder,
+		Alias:   alias.text,
+		Line:    alias.line,
+		Parents: []*Vertex{parent},
+		OrderBy: keys,
+		Schema:  parent.Schema.Clone(),
+	}, nil
+}
+
+func (p *parser) parseLimit(alias token) (*Vertex, error) {
+	src, err := p.expectIdent("relation alias")
+	if err != nil {
+		return nil, err
+	}
+	parent, err := p.lookupAlias(src)
+	if err != nil {
+		return nil, err
+	}
+	if parent.Kind == OpGroup {
+		return nil, p.errf(src, "cannot LIMIT a grouped relation")
+	}
+	t := p.advance()
+	if t.kind != tokNumber {
+		return nil, p.errf(t, "expected limit count, found %s", t)
+	}
+	n, err := strconv.ParseInt(t.text, 10, 64)
+	if err != nil || n < 0 {
+		return nil, p.errf(t, "invalid limit count %q", t.text)
+	}
+	return &Vertex{
+		Kind:    OpLimit,
+		Alias:   alias.text,
+		Line:    alias.line,
+		Parents: []*Vertex{parent},
+		LimitN:  n,
+		Schema:  parent.Schema.Clone(),
+	}, nil
+}
+
+func (p *parser) parseSample(alias token) (*Vertex, error) {
+	src, err := p.expectIdent("relation alias")
+	if err != nil {
+		return nil, err
+	}
+	parent, err := p.lookupAlias(src)
+	if err != nil {
+		return nil, err
+	}
+	if parent.Kind == OpGroup {
+		return nil, p.errf(src, "cannot SAMPLE a grouped relation")
+	}
+	t := p.advance()
+	if t.kind != tokNumber {
+		return nil, p.errf(t, "expected sample fraction, found %s", t)
+	}
+	frac, err := strconv.ParseFloat(t.text, 64)
+	if err != nil || frac <= 0 || frac > 1 {
+		return nil, p.errf(t, "sample fraction must be in (0, 1], got %q", t.text)
+	}
+	return &Vertex{
+		Kind:     OpSample,
+		Alias:    alias.text,
+		Line:     alias.line,
+		Parents:  []*Vertex{parent},
+		Fraction: frac,
+		Schema:   parent.Schema.Clone(),
+	}, nil
+}
+
+// --- expression parsing (precedence climbing) ---
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().isKeyword("OR") {
+		p.advance()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "or", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().isKeyword("AND") {
+		p.advance()
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: "and", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.peek().isKeyword("NOT") {
+		p.advance()
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "not", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+var comparisonOps = []string{"==", "!=", "<=", ">=", "<", ">"}
+
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range comparisonOps {
+		if p.peek().isSymbol(op) {
+			p.advance()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			return &Binary{Op: op, L: l, R: r}, nil
+		}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().isSymbol("+") || p.peek().isSymbol("-") {
+		op := p.advance().text
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnaryMinus()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().isSymbol("*") || p.peek().isSymbol("/") || p.peek().isSymbol("%") {
+		op := p.advance().text
+		r, err := p.parseUnaryMinus()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseUnaryMinus() (Expr, error) {
+	if p.peek().isSymbol("-") {
+		p.advance()
+		x, err := p.parseUnaryMinus()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.advance()
+	switch t.kind {
+	case tokNumber:
+		if strings.Contains(t.text, ".") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf(t, "invalid number %q", t.text)
+			}
+			return &Lit{V: tuple.Float(f)}, nil
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf(t, "invalid number %q", t.text)
+		}
+		return &Lit{V: tuple.Int(n)}, nil
+	case tokString:
+		return &Lit{V: tuple.Str(t.text)}, nil
+	case tokSymbol:
+		if t.text == "(" {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		return nil, p.errf(t, "unexpected %s in expression", t)
+	case tokIdent:
+		// Function call?
+		if p.peek().isSymbol("(") {
+			p.advance()
+			var args []Expr
+			if !p.peek().isSymbol(")") {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					args = append(args, a)
+					if !p.peek().isSymbol(",") {
+						break
+					}
+					p.advance()
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return &Call{Func: strings.ToLower(t.text), Args: args}, nil
+		}
+		// Dotted reference "bag.col" (used in aggregate arguments).
+		name := t.text
+		for p.peek().isSymbol(".") {
+			p.advance()
+			part, err := p.expectIdent("column after '.'")
+			if err != nil {
+				return nil, err
+			}
+			name += "." + part.text
+		}
+		return &Col{Name: name}, nil
+	default:
+		return nil, p.errf(t, "unexpected %s in expression", t)
+	}
+}

@@ -1,0 +1,327 @@
+package pig
+
+import (
+	"strings"
+	"testing"
+)
+
+const followerScript = `
+edges = LOAD 'twitter/edges' AS (user:int, follower:int);
+nonempty = FILTER edges BY follower != 0;
+grouped = GROUP nonempty BY user;
+counts = FOREACH grouped GENERATE group AS user, COUNT(nonempty) AS followers;
+STORE counts INTO 'out/followers';
+`
+
+func mustParse(t *testing.T, src string) *Plan {
+	t.Helper()
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return p
+}
+
+func TestParseFollowerScript(t *testing.T) {
+	p := mustParse(t, followerScript)
+	if len(p.Vertices) != 5 {
+		t.Fatalf("vertices = %d, want 5\n%s", len(p.Vertices), p)
+	}
+	kinds := []OpKind{OpLoad, OpFilter, OpGroup, OpForEach, OpStore}
+	for i, k := range kinds {
+		if p.Vertices[i].Kind != k {
+			t.Errorf("vertex %d kind = %v, want %v", i, p.Vertices[i].Kind, k)
+		}
+	}
+	fe := p.ByAlias("counts")
+	if fe == nil || fe.Schema.Len() != 2 {
+		t.Fatalf("counts schema: %v", fe)
+	}
+	if fe.Schema.Fields[0].Name != "user" || fe.Schema.Fields[1].Name != "followers" {
+		t.Errorf("counts schema = %v", fe.Schema)
+	}
+	if fe.Gens[1].Agg == nil || fe.Gens[1].Agg.Func != "count" || fe.Gens[1].Agg.ColIdx != -1 {
+		t.Errorf("COUNT agg = %+v", fe.Gens[1].Agg)
+	}
+}
+
+func TestParseEdgesLinked(t *testing.T) {
+	p := mustParse(t, followerScript)
+	g := p.ByAlias("grouped")
+	f := p.ByAlias("nonempty")
+	if len(g.Parents) != 1 || g.Parents[0] != f {
+		t.Error("group parent should be the filter vertex")
+	}
+	if len(f.Children) != 1 || f.Children[0] != g {
+		t.Error("filter child should be the group vertex")
+	}
+}
+
+func TestParseSchemaTypes(t *testing.T) {
+	p := mustParse(t, `
+a = LOAD 'x' AS (i:int, l:long, f:float, d:double, c:chararray, b:bytearray, untyped);
+STORE a INTO 'y';
+`)
+	s := p.ByAlias("a").Schema
+	wantTypes := []string{"int", "int", "float", "float", "chararray", "chararray", "any"}
+	for i, w := range wantTypes {
+		if got := s.Fields[i].Type.String(); got != w {
+			t.Errorf("field %d type = %s, want %s", i, got, w)
+		}
+	}
+}
+
+func TestParseJoin(t *testing.T) {
+	p := mustParse(t, `
+a = LOAD 'e' AS (user:int, follower:int);
+b = LOAD 'e' AS (user:int, follower:int);
+j = JOIN a BY user, b BY follower;
+two = FOREACH j GENERATE a::follower, b::user;
+STORE two INTO 'out';
+`)
+	j := p.ByAlias("j")
+	if j.Kind != OpJoin || len(j.Parents) != 2 {
+		t.Fatalf("join vertex: %v", j)
+	}
+	if j.Schema.Len() != 4 {
+		t.Fatalf("join schema arity = %d", j.Schema.Len())
+	}
+	if j.Schema.Fields[0].Name != "a::user" || j.Schema.Fields[3].Name != "b::follower" {
+		t.Errorf("join schema = %v", j.Schema)
+	}
+	if j.JoinCols[0][0] != 0 || j.JoinCols[1][0] != 1 {
+		t.Errorf("join cols = %v", j.JoinCols)
+	}
+	two := p.ByAlias("two")
+	if two.Schema.Fields[0].Name != "follower" || two.Schema.Fields[1].Name != "user" {
+		t.Errorf("projection names = %v", two.Schema)
+	}
+}
+
+func TestParseMultiKeyJoin(t *testing.T) {
+	p := mustParse(t, `
+a = LOAD 'x' AS (k1, k2, v);
+b = LOAD 'y' AS (k1, k2, w);
+j = JOIN a BY (k1, k2), b BY (k1, k2);
+STORE j INTO 'out';
+`)
+	j := p.ByAlias("j")
+	if len(j.JoinCols[0]) != 2 || len(j.JoinCols[1]) != 2 {
+		t.Errorf("multi-key join cols = %v", j.JoinCols)
+	}
+}
+
+func TestParseOrderLimit(t *testing.T) {
+	p := mustParse(t, `
+a = LOAD 'x' AS (airport, n:int);
+o = ORDER a BY n DESC, airport;
+top = LIMIT o 20;
+STORE top INTO 'out';
+`)
+	o := p.ByAlias("o")
+	if len(o.OrderBy) != 2 || !o.OrderBy[0].Desc || o.OrderBy[1].Desc {
+		t.Errorf("order keys = %+v", o.OrderBy)
+	}
+	if p.ByAlias("top").LimitN != 20 {
+		t.Errorf("limit = %d", p.ByAlias("top").LimitN)
+	}
+}
+
+func TestParseUnionDistinct(t *testing.T) {
+	p := mustParse(t, `
+a = LOAD 'x' AS (k, v);
+b = LOAD 'y' AS (k, v);
+u = UNION a, b;
+d = DISTINCT u;
+STORE d INTO 'out';
+`)
+	u := p.ByAlias("u")
+	if u.Kind != OpUnion || len(u.Parents) != 2 {
+		t.Fatalf("union: %v", u)
+	}
+	if p.ByAlias("d").Kind != OpDistinct {
+		t.Error("distinct vertex missing")
+	}
+}
+
+func TestParseUnionArityMismatch(t *testing.T) {
+	_, err := Parse(`
+a = LOAD 'x' AS (k);
+b = LOAD 'y' AS (k, v);
+u = UNION a, b;
+STORE u INTO 'out';
+`)
+	if err == nil || !strings.Contains(err.Error(), "arity") {
+		t.Errorf("want arity error, got %v", err)
+	}
+}
+
+func TestParseGroupAll(t *testing.T) {
+	p := mustParse(t, `
+a = LOAD 'x' AS (v:int);
+g = GROUP a ALL;
+c = FOREACH g GENERATE COUNT(a);
+STORE c INTO 'out';
+`)
+	g := p.ByAlias("g")
+	if !g.GroupAll {
+		t.Error("GroupAll not set")
+	}
+	c := p.ByAlias("c")
+	if c.Gens[0].Agg == nil || c.Gens[0].Agg.ColIdx != -1 {
+		t.Errorf("COUNT over all: %+v", c.Gens[0])
+	}
+}
+
+func TestParseAggregatesWithColumn(t *testing.T) {
+	p := mustParse(t, `
+w = LOAD 'weather' AS (station, temp:int);
+g = GROUP w BY station;
+avgs = FOREACH g GENERATE group, AVG(w.temp) AS avgt, SUM(w.temp), MIN(w.temp), MAX(w.temp);
+STORE avgs INTO 'out';
+`)
+	avgs := p.ByAlias("avgs")
+	funcs := []string{"", "avg", "sum", "min", "max"}
+	for i := 1; i < 5; i++ {
+		if avgs.Gens[i].Agg == nil || avgs.Gens[i].Agg.Func != funcs[i] {
+			t.Errorf("gen %d = %+v, want func %s", i, avgs.Gens[i].Agg, funcs[i])
+		}
+		if avgs.Gens[i].Agg.ColIdx != 1 {
+			t.Errorf("gen %d colIdx = %d, want 1", i, avgs.Gens[i].Agg.ColIdx)
+		}
+	}
+	if avgs.Schema.Fields[1].Name != "avgt" {
+		t.Errorf("AS name: %v", avgs.Schema)
+	}
+	if avgs.Schema.Fields[2].Name != "sum" {
+		t.Errorf("derived agg name: %v", avgs.Schema)
+	}
+}
+
+func TestParseAggregateQualifiedColumn(t *testing.T) {
+	// "w::temp" spelling for the bag column.
+	p := mustParse(t, `
+w = LOAD 'weather' AS (station, temp:int);
+g = GROUP w BY station;
+s = FOREACH g GENERATE group, SUM(w::temp);
+STORE s INTO 'out';
+`)
+	if p.ByAlias("s").Gens[1].Agg.ColIdx != 1 {
+		t.Error("qualified bag column did not resolve")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"no store", "a = LOAD 'x' AS (v);", "no STORE"},
+		{"unknown alias", "STORE ghost INTO 'o';", "unknown alias"},
+		{"unknown op", "a = FROBNICATE b;", "unsupported operator"},
+		{"load no schema", "a = LOAD 'x';\nSTORE a INTO 'o';", "AS"},
+		{"filter group", "a = LOAD 'x' AS (v);\ng = GROUP a BY v;\nf = FILTER g BY v == 1;\nSTORE f INTO 'o';", "grouped"},
+		{"store group", "a = LOAD 'x' AS (v);\ng = GROUP a BY v;\nSTORE g INTO 'o';", "FOREACH"},
+		{"agg without group", "a = LOAD 'x' AS (v);\nc = FOREACH a GENERATE COUNT(a);\nSTORE c INTO 'o';", "grouped relation"},
+		{"join one input", "a = LOAD 'x' AS (v);\nj = JOIN a BY v;\nSTORE j INTO 'o';", "two inputs"},
+		{"join key mismatch", "a = LOAD 'x' AS (k1, k2);\nb = LOAD 'y' AS (k);\nj = JOIN a BY (k1,k2), b BY k;\nSTORE j INTO 'o';", "different lengths"},
+		{"union one input", "a = LOAD 'x' AS (v);\nu = UNION a;\nSTORE u INTO 'o';", "at least two"},
+		{"bad limit", "a = LOAD 'x' AS (v);\nl = LIMIT a x;\nSTORE l INTO 'o';", "limit count"},
+		{"unknown column", "a = LOAD 'x' AS (v);\nf = FILTER a BY w == 1;\nSTORE f INTO 'o';", "unknown column"},
+		{"group unknown col", "a = LOAD 'x' AS (v);\ng = GROUP a BY w;\nSTORE g INTO 'o';", "unknown column"},
+		{"missing semicolon", "a = LOAD 'x' AS (v)\nSTORE a INTO 'o';", `";"`},
+		{"sum of bare bag", "a = LOAD 'x' AS (v:int);\ng = GROUP a BY v;\nc = FOREACH g GENERATE SUM(a);\nSTORE c INTO 'o';", "needs a column"},
+		{"count two args", "a = LOAD 'x' AS (v:int);\ng = GROUP a BY v;\nc = FOREACH g GENERATE COUNT(a, a);\nSTORE c INTO 'o';", "one argument"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not contain %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseUsingClausesIgnored(t *testing.T) {
+	p := mustParse(t, `
+a = LOAD 'x' USING PigStorage(',') AS (v);
+STORE a INTO 'o' USING PigStorage();
+`)
+	if p.ByAlias("a").Path != "x" {
+		t.Error("path lost around USING clause")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	mustParse(t, `
+-- leading comment
+a = LOAD 'x' AS (v); /* inline */
+STORE a INTO 'o'; -- trailing
+`)
+}
+
+func TestPlanString(t *testing.T) {
+	p := mustParse(t, followerScript)
+	s := p.String()
+	for _, want := range []string{"LOAD(edges)", "FILTER(nonempty)", "GROUP(grouped)", "FOREACH(counts)", "STORE"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("plan string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPlanLookups(t *testing.T) {
+	p := mustParse(t, followerScript)
+	if len(p.Loads()) != 1 || len(p.Stores()) != 1 {
+		t.Errorf("loads=%d stores=%d", len(p.Loads()), len(p.Stores()))
+	}
+	if p.ByID(0) == nil || p.ByID(0).Kind != OpLoad {
+		t.Error("ByID(0) should be the load")
+	}
+	if p.ByID(99) != nil {
+		t.Error("ByID out of range should be nil")
+	}
+	if p.ByAlias("nope") != nil {
+		t.Error("ByAlias unknown should be nil")
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	if OpLoad.String() != "LOAD" || OpStore.String() != "STORE" {
+		t.Error("OpKind names wrong")
+	}
+	if !OpGroup.IsShuffle() || !OpJoin.IsShuffle() || !OpOrder.IsShuffle() || !OpDistinct.IsShuffle() {
+		t.Error("shuffle kinds misclassified")
+	}
+	if OpFilter.IsShuffle() || OpForEach.IsShuffle() || OpUnion.IsShuffle() || OpLimit.IsShuffle() {
+		t.Error("non-shuffle kinds misclassified")
+	}
+}
+
+func TestGroupRefRewriteMultiKey(t *testing.T) {
+	// With a multi-column key, key columns are referenced by name.
+	p := mustParse(t, `
+a = LOAD 'x' AS (k1, k2, v:int);
+g = GROUP a BY (k1, k2);
+c = FOREACH g GENERATE k1, k2, COUNT(a);
+STORE c INTO 'o';
+`)
+	c := p.ByAlias("c")
+	if c.Schema.Len() != 3 {
+		t.Errorf("schema = %v", c.Schema)
+	}
+}
+
+func TestParseFilterComplexPredicate(t *testing.T) {
+	p := mustParse(t, `
+a = LOAD 'x' AS (u:int, f:int, s);
+b = FILTER a BY (u > 10 AND f != 0) OR NOT s == 'skip';
+STORE b INTO 'o';
+`)
+	if p.ByAlias("b").Pred == nil {
+		t.Fatal("predicate missing")
+	}
+}

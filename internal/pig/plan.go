@@ -1,0 +1,357 @@
+package pig
+
+import (
+	"fmt"
+	"strings"
+
+	"clusterbft/internal/tuple"
+)
+
+// OpKind enumerates logical-plan operator kinds.
+type OpKind uint8
+
+// Logical operators. OpGroup, OpJoin, OpOrder and OpDistinct force a
+// shuffle (MapReduce job boundary) when compiled.
+const (
+	OpLoad OpKind = iota + 1
+	OpFilter
+	OpGroup
+	OpJoin
+	OpForEach
+	OpUnion
+	OpDistinct
+	OpOrder
+	OpLimit
+	OpStore
+	OpSample
+)
+
+// String returns the PigLatin-style operator name.
+func (k OpKind) String() string {
+	switch k {
+	case OpLoad:
+		return "LOAD"
+	case OpFilter:
+		return "FILTER"
+	case OpGroup:
+		return "GROUP"
+	case OpJoin:
+		return "JOIN"
+	case OpForEach:
+		return "FOREACH"
+	case OpUnion:
+		return "UNION"
+	case OpDistinct:
+		return "DISTINCT"
+	case OpOrder:
+		return "ORDER"
+	case OpLimit:
+		return "LIMIT"
+	case OpStore:
+		return "STORE"
+	case OpSample:
+		return "SAMPLE"
+	default:
+		return fmt.Sprintf("OP(%d)", uint8(k))
+	}
+}
+
+// IsShuffle reports whether the operator forces a MapReduce boundary.
+func (k OpKind) IsShuffle() bool {
+	switch k {
+	case OpGroup, OpJoin, OpOrder, OpDistinct:
+		return true
+	default:
+		return false
+	}
+}
+
+// OrderKey is one ORDER BY sort key.
+type OrderKey struct {
+	Col  int // column index in the parent schema
+	Desc bool
+}
+
+// Aggregate is one aggregate function application inside a FOREACH over a
+// grouped relation.
+type Aggregate struct {
+	Func   string // count, sum, avg, min, max (lower case)
+	ColIdx int    // column in the pre-group schema; -1 for COUNT(bag)
+}
+
+// GenItem is one GENERATE item of a FOREACH: either a scalar expression
+// (over the parent schema, or over the group key for grouped parents) or
+// an Aggregate. Exactly one of Expr and Agg is set.
+type GenItem struct {
+	Expr Expr
+	Agg  *Aggregate
+	Name string // output column name
+}
+
+// Vertex is one node of the logical-plan DAG.
+type Vertex struct {
+	ID     int
+	Kind   OpKind
+	Alias  string // relation alias; empty for STORE
+	Line   int    // source line, for error messages
+	Schema *tuple.Schema
+
+	Parents  []*Vertex
+	Children []*Vertex
+
+	// Operator-specific fields.
+	Path      string     // LOAD source / STORE destination
+	Pred      Expr       // FILTER predicate
+	GroupCols []int      // GROUP key column indices in the parent schema
+	GroupAll  bool       // GROUP ... ALL
+	JoinCols  [][]int    // per-parent join key column indices
+	Gens      []GenItem  // FOREACH generate list
+	OrderBy   []OrderKey // ORDER keys
+	LimitN    int64      // LIMIT count
+	Fraction  float64    // SAMPLE keep fraction in (0, 1]
+}
+
+// String renders the vertex as "3:GROUP(c)".
+func (v *Vertex) String() string {
+	if v.Alias != "" {
+		return fmt.Sprintf("%d:%s(%s)", v.ID, v.Kind, v.Alias)
+	}
+	return fmt.Sprintf("%d:%s", v.ID, v.Kind)
+}
+
+// Plan is a directed acyclic data-flow graph. Vertices are stored in
+// construction order, which is topological because every statement only
+// references previously defined aliases.
+type Plan struct {
+	Vertices []*Vertex
+	byAlias  map[string]*Vertex
+}
+
+func newPlan() *Plan {
+	return &Plan{byAlias: make(map[string]*Vertex)}
+}
+
+// ByAlias returns the vertex currently bound to alias, or nil.
+func (p *Plan) ByAlias(alias string) *Vertex {
+	return p.byAlias[alias]
+}
+
+// ByID returns the vertex with the given ID, or nil.
+func (p *Plan) ByID(id int) *Vertex {
+	for _, v := range p.Vertices {
+		if v.ID == id {
+			return v
+		}
+	}
+	return nil
+}
+
+// Loads returns the LOAD vertices in plan order.
+func (p *Plan) Loads() []*Vertex { return p.ofKind(OpLoad) }
+
+// Stores returns the STORE vertices in plan order.
+func (p *Plan) Stores() []*Vertex { return p.ofKind(OpStore) }
+
+func (p *Plan) ofKind(k OpKind) []*Vertex {
+	var out []*Vertex
+	for _, v := range p.Vertices {
+		if v.Kind == k {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// add links a vertex beneath its parents and registers its alias.
+func (p *Plan) add(v *Vertex) *Vertex {
+	v.ID = len(p.Vertices)
+	p.Vertices = append(p.Vertices, v)
+	for _, par := range v.Parents {
+		par.Children = append(par.Children, v)
+	}
+	if v.Alias != "" {
+		p.byAlias[v.Alias] = v
+	}
+	return v
+}
+
+// String renders the plan one vertex per line with parent references,
+// e.g. "2:GROUP(c) <- [1:FILTER(b)]".
+func (p *Plan) String() string {
+	var b strings.Builder
+	for _, v := range p.Vertices {
+		b.WriteString(v.String())
+		if len(v.Parents) > 0 {
+			b.WriteString(" <- [")
+			for i, par := range v.Parents {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(par.String())
+			}
+			b.WriteString("]")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// planError wraps a semantic error with its source line.
+func planError(line int, format string, args ...any) error {
+	return fmt.Errorf("pig: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+// resolveCols maps column names to indices in s.
+func resolveCols(s *tuple.Schema, names []string, line int) ([]int, error) {
+	idxs := make([]int, len(names))
+	for i, n := range names {
+		c := &Col{Name: n}
+		if err := c.Bind(s); err != nil {
+			return nil, planError(line, "%v", err)
+		}
+		idxs[i] = c.Index()
+	}
+	return idxs, nil
+}
+
+// qualify builds the output schema of a JOIN: each parent's columns
+// renamed to "alias::name" (already-qualified names keep only their last
+// component before requalification, matching Pig's display).
+func qualify(parents []*Vertex) *tuple.Schema {
+	out := &tuple.Schema{}
+	for _, p := range parents {
+		prefix := p.Alias
+		for _, f := range p.Schema.Fields {
+			name := f.Name
+			if i := strings.LastIndex(name, "::"); i >= 0 {
+				name = name[i+2:]
+			}
+			if prefix != "" {
+				name = prefix + "::" + name
+			}
+			out.Fields = append(out.Fields, tuple.Field{Name: name, Type: f.Type})
+		}
+	}
+	return out
+}
+
+// bindGens type-checks and binds the GENERATE list of a FOREACH vertex
+// whose parent is v.Parents[0], filling in output names, and returns the
+// output schema.
+func bindGens(parent *Vertex, gens []GenItem, line int) (*tuple.Schema, error) {
+	grouped := parent.Kind == OpGroup
+	var keySchema, bagSchema *tuple.Schema
+	var bagAlias string
+	if grouped {
+		keySchema = parent.Schema
+		gp := parent.Parents[0]
+		bagSchema = gp.Schema
+		bagAlias = gp.Alias
+	}
+	out := &tuple.Schema{}
+	for i := range gens {
+		g := &gens[i]
+		switch {
+		case g.Agg != nil:
+			return nil, planError(line, "internal: aggregate pre-bound")
+		case grouped:
+			if call, ok := g.Expr.(*Call); ok && IsAggregateFunc(call.Func) {
+				agg, err := bindAggregate(call, bagAlias, bagSchema, line)
+				if err != nil {
+					return nil, err
+				}
+				g.Agg = agg
+				g.Expr = nil
+				if g.Name == "" {
+					g.Name = call.Func
+				}
+			} else {
+				rewriteGroupRef(g.Expr, parent)
+				if err := g.Expr.Bind(keySchema); err != nil {
+					return nil, planError(line, "%v", err)
+				}
+				if g.Name == "" {
+					g.Name = deriveName(g.Expr, i)
+				}
+			}
+		default:
+			if call, ok := g.Expr.(*Call); ok && IsAggregateFunc(call.Func) {
+				return nil, planError(line, "aggregate %s requires a grouped relation", strings.ToUpper(call.Func))
+			}
+			if err := g.Expr.Bind(parent.Schema); err != nil {
+				return nil, planError(line, "%v", err)
+			}
+			if g.Name == "" {
+				g.Name = deriveName(g.Expr, i)
+			}
+		}
+		out.Fields = append(out.Fields, tuple.Field{Name: g.Name, Type: tuple.TypeAny})
+	}
+	return out, nil
+}
+
+// bindAggregate converts COUNT(B) / SUM(B.col) / AVG(B::col) calls into
+// bound Aggregate descriptors against the pre-group (bag) schema.
+func bindAggregate(call *Call, bagAlias string, bagSchema *tuple.Schema, line int) (*Aggregate, error) {
+	if len(call.Args) != 1 {
+		return nil, planError(line, "%s takes exactly one argument", strings.ToUpper(call.Func))
+	}
+	col, ok := call.Args[0].(*Col)
+	if !ok {
+		return nil, planError(line, "%s argument must be a relation or column reference", strings.ToUpper(call.Func))
+	}
+	name := col.Name
+	// Bare bag alias: whole-tuple aggregate — only COUNT makes sense.
+	if name == bagAlias {
+		if call.Func != "count" {
+			return nil, planError(line, "%s needs a column, e.g. %s(%s.col)",
+				strings.ToUpper(call.Func), strings.ToUpper(call.Func), bagAlias)
+		}
+		return &Aggregate{Func: "count", ColIdx: -1}, nil
+	}
+	// Strip "bag." or "bag::" qualification.
+	name = strings.TrimPrefix(name, bagAlias+".")
+	name = strings.TrimPrefix(name, bagAlias+"::")
+	c := &Col{Name: name}
+	if err := c.Bind(bagSchema); err != nil {
+		return nil, planError(line, "%v", err)
+	}
+	return &Aggregate{Func: call.Func, ColIdx: c.Index()}, nil
+}
+
+// rewriteGroupRef renames bare "group" column references to the group key
+// column name when the GROUP key is a single column, so that downstream
+// binding resolves against the key schema.
+func rewriteGroupRef(e Expr, group *Vertex) {
+	switch x := e.(type) {
+	case *Col:
+		if x.Name == "group" && group.Schema.Len() == 1 {
+			x.Name = group.Schema.Fields[0].Name
+		}
+	case *Binary:
+		rewriteGroupRef(x.L, group)
+		rewriteGroupRef(x.R, group)
+	case *Unary:
+		rewriteGroupRef(x.X, group)
+	case *Call:
+		for _, a := range x.Args {
+			rewriteGroupRef(a, group)
+		}
+	}
+}
+
+// deriveName picks an output column name for an unnamed GENERATE item.
+func deriveName(e Expr, pos int) string {
+	switch x := e.(type) {
+	case *Col:
+		name := x.Name
+		if i := strings.LastIndex(name, "::"); i >= 0 {
+			name = name[i+2:]
+		}
+		return name
+	case *Call:
+		return x.Func
+	default:
+		return fmt.Sprintf("f%d", pos)
+	}
+}

@@ -1,0 +1,120 @@
+package pig
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Parser robustness: arbitrary input must never panic — it either parses
+// or returns an error.
+
+func TestParseNeverPanicsOnGarbage(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", src, r)
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseNeverPanicsOnMangledScripts(t *testing.T) {
+	// Mutate a valid script by deleting byte ranges; every mutation must
+	// be handled gracefully.
+	base := `
+edges = LOAD 'in' AS (user:int, follower:int);
+ne = FILTER edges BY follower != 0;
+g = GROUP ne BY user;
+counts = FOREACH g GENERATE group AS user, COUNT(ne) AS n;
+o = ORDER counts BY n DESC;
+top = LIMIT o 10;
+STORE top INTO 'out';
+`
+	for start := 0; start < len(base); start += 7 {
+		for _, width := range []int{1, 5, 23} {
+			end := start + width
+			if end > len(base) {
+				end = len(base)
+			}
+			mutated := base[:start] + base[end:]
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on mutation [%d:%d]: %v", start, end, r)
+					}
+				}()
+				_, _ = Parse(mutated)
+			}()
+		}
+	}
+}
+
+func TestParseDeepExpressionNesting(t *testing.T) {
+	depth := 200
+	expr := strings.Repeat("(", depth) + "v" + strings.Repeat(")", depth)
+	src := "a = LOAD 'x' AS (v:int);\nb = FILTER a BY " + expr + " == 1;\nSTORE b INTO 'o';"
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("deeply nested expression should parse: %v", err)
+	}
+}
+
+func TestParseLongScript(t *testing.T) {
+	// A long chain of filters parses and builds a linear plan.
+	var b strings.Builder
+	b.WriteString("r0 = LOAD 'x' AS (v:int);\n")
+	const n = 150
+	for i := 1; i <= n; i++ {
+		b.WriteString("r")
+		b.WriteString(itoa(i))
+		b.WriteString(" = FILTER r")
+		b.WriteString(itoa(i - 1))
+		b.WriteString(" BY v != ")
+		b.WriteString(itoa(i))
+		b.WriteString(";\n")
+	}
+	b.WriteString("STORE r")
+	b.WriteString(itoa(n))
+	b.WriteString(" INTO 'o';\n")
+	p, err := Parse(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Vertices) != n+2 {
+		t.Errorf("vertices = %d, want %d", len(p.Vertices), n+2)
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+func TestLexNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("lexer panic on %q: %v", src, r)
+			}
+		}()
+		_, _ = lexAll(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

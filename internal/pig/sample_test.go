@@ -1,0 +1,90 @@
+package pig
+
+import (
+	"strings"
+	"testing"
+
+	"clusterbft/internal/tuple"
+)
+
+func TestParseSample(t *testing.T) {
+	p := mustParse(t, `
+a = LOAD 'x' AS (k, v:int);
+s = SAMPLE a 0.25;
+STORE s INTO 'o';
+`)
+	v := p.ByAlias("s")
+	if v == nil || v.Kind != OpSample {
+		t.Fatalf("sample vertex: %v", v)
+	}
+	if v.Fraction != 0.25 {
+		t.Errorf("fraction = %v", v.Fraction)
+	}
+	if v.Schema.Len() != 2 {
+		t.Errorf("sample keeps parent schema: %v", v.Schema)
+	}
+	if OpSample.IsShuffle() {
+		t.Error("SAMPLE is map-side")
+	}
+	if OpSample.String() != "SAMPLE" {
+		t.Error("kind name")
+	}
+}
+
+func TestParseSampleErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"zero", "a = LOAD 'x' AS (k);\ns = SAMPLE a 0.0;\nSTORE s INTO 'o';", "fraction"},
+		{"above one", "a = LOAD 'x' AS (k);\ns = SAMPLE a 1.5;\nSTORE s INTO 'o';", "fraction"},
+		{"not number", "a = LOAD 'x' AS (k);\ns = SAMPLE a lots;\nSTORE s INTO 'o';", "fraction"},
+		{"grouped", "a = LOAD 'x' AS (k);\ng = GROUP a BY k;\ns = SAMPLE g 0.5;\nSTORE s INTO 'o';", "grouped"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error = %v, want %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestSampleFractionOne(t *testing.T) {
+	// SAMPLE a 1 keeps everything (integer literal accepted).
+	p := mustParse(t, `
+a = LOAD 'x' AS (k);
+s = SAMPLE a 1;
+STORE s INTO 'o';
+`)
+	if p.ByAlias("s").Fraction != 1 {
+		t.Errorf("fraction = %v", p.ByAlias("s").Fraction)
+	}
+}
+
+func TestNewScalarFunctions(t *testing.T) {
+	s := tuple.NewSchema("txt", "f")
+	row := tuple.Tuple{tuple.Str("hello world"), tuple.Float(2.5)}
+	cases := []struct {
+		src  string
+		want tuple.Value
+	}{
+		{"SUBSTRING(txt, 0, 5)", tuple.Str("hello")},
+		{"SUBSTRING(txt, 6, 50)", tuple.Str("world")},
+		{"SUBSTRING(txt, 99, 5)", tuple.Str("")},
+		{"SUBSTRING(txt, -3, 2)", tuple.Str("he")},
+		{"ROUND(f)", tuple.Int(3)},
+		{"ROUND(f - 3)", tuple.Int(-1)}, // round(-0.5) -> -1
+		{"ROUND(7)", tuple.Int(7)},
+		{"REPLACE(txt, 'world', 'pig')", tuple.Str("hello pig")},
+		{"REPLACE(txt, 'zzz', 'x')", tuple.Str("hello world")},
+	}
+	for _, c := range cases {
+		e := parseTestExpr(t, c.src)
+		if err := e.Bind(s); err != nil {
+			t.Fatalf("Bind(%q): %v", c.src, err)
+		}
+		got := e.Eval(row)
+		if !tuple.Equal(got, c.want) || got.Kind() != c.want.Kind() {
+			t.Errorf("%q = %v (%v), want %v (%v)", c.src, got, got.Kind(), c.want, c.want.Kind())
+		}
+	}
+}

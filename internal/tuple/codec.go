@@ -1,0 +1,136 @@
+package tuple
+
+import (
+	"strings"
+)
+
+// The line codec stores tuples as tab-separated text records, one per
+// line, mirroring the default PigStorage format. Tabs, newlines and
+// backslashes inside string values are escaped so the encoding is
+// canonical: a given tuple always encodes to exactly one byte sequence.
+// Digest computation depends on this property.
+//
+// One inherited ambiguity (shared with Hadoop's text formats): a tuple
+// holding a single empty field encodes to the empty line, which decodes
+// as the empty tuple. Replicas process identical streams identically, so
+// digest comparison is unaffected; schema-carrying consumers should
+// treat zero-column records as absent rows.
+
+// EncodeLine renders t as one tab-separated record without a trailing
+// newline.
+func EncodeLine(t Tuple) string {
+	var b strings.Builder
+	AppendLine(&b, t)
+	return b.String()
+}
+
+// AppendLine writes the tab-separated encoding of t to b.
+func AppendLine(b *strings.Builder, t Tuple) {
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte('\t')
+		}
+		escapeTo(b, v.Str())
+	}
+}
+
+// AppendCanonical appends the canonical byte encoding of t (the escaped
+// tab-separated record followed by '\n') to dst and returns the extended
+// slice. This is the exact byte stream fed to verification digests.
+func AppendCanonical(dst []byte, t Tuple) []byte {
+	for i, v := range t {
+		if i > 0 {
+			dst = append(dst, '\t')
+		}
+		dst = appendEscaped(dst, v.Str())
+	}
+	return append(dst, '\n')
+}
+
+// DecodeLine parses one encoded record into a tuple, coercing columns by
+// the schema when provided (extra columns coerce as TypeAny; missing
+// schema columns are not padded).
+func DecodeLine(line string, schema *Schema) Tuple {
+	if line == "" {
+		return Tuple{}
+	}
+	fields := splitEscaped(line)
+	t := make(Tuple, len(fields))
+	for i, raw := range fields {
+		ft := TypeAny
+		if schema != nil && i < len(schema.Fields) {
+			ft = schema.Fields[i].Type
+		}
+		t[i] = ft.Coerce(raw)
+	}
+	return t
+}
+
+func escapeTo(b *strings.Builder, s string) {
+	if !strings.ContainsAny(s, "\t\n\\") {
+		b.WriteString(s)
+		return
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\t':
+			b.WriteString(`\t`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\\':
+			b.WriteString(`\\`)
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+}
+
+func appendEscaped(dst []byte, s string) []byte {
+	if !strings.ContainsAny(s, "\t\n\\") {
+		return append(dst, s...)
+	}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\t':
+			dst = append(dst, '\\', 't')
+		case '\n':
+			dst = append(dst, '\\', 'n')
+		case '\\':
+			dst = append(dst, '\\', '\\')
+		default:
+			dst = append(dst, s[i])
+		}
+	}
+	return dst
+}
+
+// splitEscaped splits a record on unescaped tabs and unescapes each field.
+func splitEscaped(line string) []string {
+	var fields []string
+	var cur strings.Builder
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '\\' && i+1 < len(line):
+			i++
+			switch line[i] {
+			case 't':
+				cur.WriteByte('\t')
+			case 'n':
+				cur.WriteByte('\n')
+			case '\\':
+				cur.WriteByte('\\')
+			default:
+				cur.WriteByte('\\')
+				cur.WriteByte(line[i])
+			}
+		case c == '\t':
+			fields = append(fields, cur.String())
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	fields = append(fields, cur.String())
+	return fields
+}

@@ -1,0 +1,154 @@
+package tuple
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleClone(t *testing.T) {
+	orig := Tuple{Int(1), Str("a")}
+	c := orig.Clone()
+	if !EqualTuples(orig, c) {
+		t.Fatal("clone differs from original")
+	}
+	c[0] = Int(2)
+	if orig[0].Int() != 1 {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	got := Tuple{Int(1), Str("a"), Null()}.String()
+	if got != "(1,a,)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := Tuple{Int(1)}
+	b := Tuple{Str("x"), Int(2)}
+	c := Concat(a, b)
+	want := Tuple{Int(1), Str("x"), Int(2)}
+	if !EqualTuples(c, want) {
+		t.Errorf("Concat = %v, want %v", c, want)
+	}
+	// Inputs untouched.
+	if len(a) != 1 || len(b) != 2 {
+		t.Error("Concat mutated inputs")
+	}
+}
+
+func TestCompareTuples(t *testing.T) {
+	cases := []struct {
+		a, b Tuple
+		want int
+	}{
+		{Tuple{}, Tuple{}, 0},
+		{Tuple{Int(1)}, Tuple{Int(2)}, -1},
+		{Tuple{Int(2)}, Tuple{Int(1)}, 1},
+		{Tuple{Int(1)}, Tuple{Int(1), Int(0)}, -1},
+		{Tuple{Int(1), Int(0)}, Tuple{Int(1)}, 1},
+		{Tuple{Str("a"), Int(2)}, Tuple{Str("a"), Int(2)}, 0},
+		{Tuple{Str("a"), Int(1)}, Tuple{Str("a"), Int(2)}, -1},
+	}
+	for i, c := range cases {
+		if got := CompareTuples(c.a, c.b); got != c.want {
+			t.Errorf("case %d: CompareTuples = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestEqualTuplesLengthMismatch(t *testing.T) {
+	if EqualTuples(Tuple{Int(1)}, Tuple{Int(1), Int(2)}) {
+		t.Error("tuples of different length must not be equal")
+	}
+}
+
+func TestSchemaBasics(t *testing.T) {
+	s := NewSchema("user", "follower")
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Index("follower") != 1 {
+		t.Errorf("Index(follower) = %d", s.Index("follower"))
+	}
+	if s.Index("absent") != -1 {
+		t.Errorf("Index(absent) = %d", s.Index("absent"))
+	}
+	names := s.Names()
+	if names[0] != "user" || names[1] != "follower" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestSchemaClone(t *testing.T) {
+	s := NewSchema("a", "b")
+	c := s.Clone()
+	c.Fields[0].Name = "z"
+	if s.Fields[0].Name != "a" {
+		t.Error("mutating clone affected original schema")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := &Schema{Fields: []Field{{Name: "a", Type: TypeInt}, {Name: "b", Type: TypeAny}}}
+	if got := s.String(); got != "(a:int, b)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestFieldTypeString(t *testing.T) {
+	cases := map[FieldType]string{
+		TypeAny:       "any",
+		TypeInt:       "int",
+		TypeFloat:     "float",
+		TypeString:    "chararray",
+		FieldType(42): "type(42)",
+	}
+	for ft, want := range cases {
+		if got := ft.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ft, got, want)
+		}
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	cases := []struct {
+		ft   FieldType
+		raw  string
+		want Value
+	}{
+		{TypeInt, "42", Int(42)},
+		{TypeInt, "junk", Int(0)},
+		{TypeFloat, "2.5", Float(2.5)},
+		{TypeString, "42", Str("42")},
+		{TypeAny, "42", Int(42)},
+		{TypeAny, "-7", Int(-7)},
+		{TypeAny, "4.2", Str("4.2")},
+		{TypeAny, "abc", Str("abc")},
+		{TypeAny, "", Str("")},
+		{TypeAny, "-", Str("-")},
+		{TypeAny, "+", Str("+")},
+		{TypeAny, "+3", Int(3)},
+	}
+	for _, c := range cases {
+		got := c.ft.Coerce(c.raw)
+		if got.Kind() != c.want.Kind() || !Equal(got, c.want) {
+			t.Errorf("%v.Coerce(%q) = %v (%v), want %v (%v)",
+				c.ft, c.raw, got, got.Kind(), c.want, c.want.Kind())
+		}
+	}
+}
+
+func TestCompareTuplesReflexiveProperty(t *testing.T) {
+	f := func(xs []int64) bool {
+		tup := make(Tuple, len(xs))
+		for i, x := range xs {
+			tup[i] = Int(x)
+		}
+		return CompareTuples(tup, tup) == 0 && EqualTuples(tup, tup)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,150 @@
+// Package workload provides seeded synthetic stand-ins for the paper's
+// datasets — the WWW'10 Twitter follower graph (§6.1), the RITA airline
+// on-time data (§6.2) and the NOAA surface-summary weather data (§6.4) —
+// plus the four Pig scripts the evaluation runs. The generators reproduce
+// the properties the experiments actually exercise: schemas, row counts,
+// key skew and key cardinality; the semantic content of rows is
+// irrelevant to digest/replication overhead measurements.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FollowerScript counts followers per user (Fig 8 i: Load, Filter,
+// Group, ForEach/Count, Store).
+const FollowerScript = `
+edges = LOAD 'data/twitter/edges' AS (user:int, follower:int);
+nonempty = FILTER edges BY follower != 0;
+grouped = GROUP nonempty BY user;
+counts = FOREACH grouped GENERATE group AS user, COUNT(nonempty) AS followers;
+STORE counts INTO 'out/twitter/followers';
+`
+
+// TwoHopScript lists pairs of users two hops apart via a self-join
+// (Fig 8 ii): u follows v, v follows w => (u, w).
+const TwoHopScript = `
+a = LOAD 'data/twitter/edges' AS (user:int, follower:int);
+b = LOAD 'data/twitter/edges' AS (user:int, follower:int);
+hops = JOIN a BY follower, b BY user;
+proper = FILTER hops BY a::user != b::follower;
+pairs = FOREACH proper GENERATE a::user AS src, b::follower AS dst;
+STORE pairs INTO 'out/twitter/twohop';
+`
+
+// AirlineScript is the multi-store query of §6.2 (Fig 8 iii): top 20
+// airports by outgoing flights, by incoming flights, and overall.
+const AirlineScript = `
+fl = LOAD 'data/airline/flights' AS (year:int, month:int, origin, dest, delay:int);
+byorigin = GROUP fl BY origin;
+outbound = FOREACH byorigin GENERATE group AS airport, COUNT(fl) AS n;
+o1 = ORDER outbound BY n DESC;
+topout = LIMIT o1 20;
+STORE topout INTO 'out/airline/outbound';
+
+bydest = GROUP fl BY dest;
+inbound = FOREACH bydest GENERATE group AS airport, COUNT(fl) AS n;
+o2 = ORDER inbound BY n DESC;
+topin = LIMIT o2 20;
+STORE topin INTO 'out/airline/inbound';
+
+both = UNION outbound, inbound;
+byairport = GROUP both BY airport;
+overall = FOREACH byairport GENERATE group AS airport, SUM(both.n) AS n;
+o3 = ORDER overall BY n DESC;
+topall = LIMIT o3 20;
+STORE topall INTO 'out/airline/overall';
+`
+
+// WeatherScript computes per-station multi-year average temperatures and
+// counts stations sharing each average (§6.4). AVG is integer (§5.4).
+const WeatherScript = `
+w = LOAD 'data/weather/gsod' AS (station, date:int, temp:int);
+bystation = GROUP w BY station;
+avgs = FOREACH bystation GENERATE group AS station, AVG(w.temp) AS avgtemp;
+byavg = GROUP avgs BY avgtemp;
+counts = FOREACH byavg GENERATE group AS avgtemp, COUNT(avgs) AS stations;
+STORE counts INTO 'out/weather/histogram';
+`
+
+// Paths used by the scripts above.
+const (
+	TwitterPath = "data/twitter/edges"
+	AirlinePath = "data/airline/flights"
+	WeatherPath = "data/weather/gsod"
+)
+
+// Twitter generates a follower-edge list with a skewed (Zipf-like)
+// follower distribution over `users` user IDs. About 2% of rows carry a
+// zero follower ID, exercising the script's filter stage like the
+// original dataset's empty records.
+func Twitter(edges, users int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.3, 4, uint64(users-1))
+	out := make([]string, 0, edges)
+	for i := 0; i < edges; i++ {
+		user := int(zipf.Uint64()) + 1
+		follower := rng.Intn(users) + 1
+		if rng.Intn(50) == 0 {
+			follower = 0 // "empty" record, filtered by the script
+		}
+		out = append(out, fmt.Sprintf("%d\t%d", user, follower))
+	}
+	return out
+}
+
+// airports is a pool of plausible IATA codes.
+var airports = []string{
+	"ATL", "ORD", "DFW", "DEN", "LAX", "PHX", "IAH", "LAS", "DTW", "SLC",
+	"SFO", "MSP", "JFK", "EWR", "CLT", "BOS", "SEA", "MIA", "MCO", "PHL",
+	"LGA", "BWI", "FLL", "SAN", "TPA", "MDW", "DCA", "STL", "PDX", "HNL",
+	"OAK", "MEM", "CLE", "SMF", "MCI", "SJC", "PIT", "IND", "MKE", "CMH",
+}
+
+// Airline generates flight rows (year, month, origin, dest, delay) over
+// `airports` hubs with heavy skew toward the big hubs, matching the
+// RITA data's traffic distribution.
+func Airline(rows, hubs int, seed int64) []string {
+	if hubs <= 1 || hubs > len(airports) {
+		hubs = len(airports)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 3, uint64(hubs-1))
+	out := make([]string, 0, rows)
+	for i := 0; i < rows; i++ {
+		origin := airports[zipf.Uint64()]
+		dest := airports[zipf.Uint64()]
+		for dest == origin {
+			dest = airports[rng.Intn(hubs)]
+		}
+		year := 2007 + rng.Intn(2)
+		month := rng.Intn(12) + 1
+		delay := rng.Intn(120) - 15
+		out = append(out, fmt.Sprintf("%d\t%d\t%s\t%s\t%d", year, month, origin, dest, delay))
+	}
+	return out
+}
+
+// Weather generates daily surface-summary rows (station, yyyymmdd date,
+// integer temperature) across `stations` weather stations, each with its
+// own base climate so per-station averages differ but collide often
+// enough for the second grouping stage to aggregate.
+func Weather(rows, stations int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed))
+	base := make([]int, stations)
+	for i := range base {
+		base[i] = 20 + rng.Intn(60) // station climate in °F
+	}
+	out := make([]string, 0, rows)
+	for i := 0; i < rows; i++ {
+		st := rng.Intn(stations)
+		year := 2005 + rng.Intn(5)
+		day := rng.Intn(28) + 1
+		month := rng.Intn(12) + 1
+		date := year*10000 + month*100 + day
+		temp := base[st] + rng.Intn(21) - 10
+		out = append(out, fmt.Sprintf("st%05d\t%d\t%d", st, date, temp))
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"clusterbft/internal/pig"
+	"clusterbft/internal/tuple"
+)
+
+func TestScriptsParse(t *testing.T) {
+	scripts := map[string]string{
+		"follower": FollowerScript,
+		"twohop":   TwoHopScript,
+		"airline":  AirlineScript,
+		"weather":  WeatherScript,
+	}
+	for name, src := range scripts {
+		t.Run(name, func(t *testing.T) {
+			p, err := pig.Parse(src)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if len(p.Stores()) == 0 {
+				t.Error("no stores")
+			}
+		})
+	}
+}
+
+func TestAirlineScriptIsMultiStore(t *testing.T) {
+	p, err := pig.Parse(AirlineScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.Stores()); got != 3 {
+		t.Errorf("airline stores = %d, want 3", got)
+	}
+}
+
+func TestTwitterShape(t *testing.T) {
+	lines := Twitter(5000, 100, 1)
+	if len(lines) != 5000 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	zeros := 0
+	users := map[string]int{}
+	for _, l := range lines {
+		parts := strings.Split(l, "\t")
+		if len(parts) != 2 {
+			t.Fatalf("bad row %q", l)
+		}
+		if parts[1] == "0" {
+			zeros++
+		}
+		users[parts[0]]++
+	}
+	if zeros == 0 || zeros > 500 {
+		t.Errorf("zero-follower rows = %d, want a small nonzero fraction", zeros)
+	}
+	// Skew: the most popular user should have far more rows than the
+	// median.
+	max := 0
+	for _, c := range users {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 5000/20 {
+		t.Errorf("max user frequency %d too uniform", max)
+	}
+}
+
+func TestTwitterDeterministic(t *testing.T) {
+	a := Twitter(100, 50, 9)
+	b := Twitter(100, 50, 9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	c := Twitter(100, 50, 10)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestAirlineShape(t *testing.T) {
+	lines := Airline(2000, 20, 2)
+	if len(lines) != 2000 {
+		t.Fatalf("rows = %d", len(lines))
+	}
+	for _, l := range lines[:50] {
+		parts := strings.Split(l, "\t")
+		if len(parts) != 5 {
+			t.Fatalf("bad row %q", l)
+		}
+		if parts[2] == parts[3] {
+			t.Errorf("origin == dest in %q", l)
+		}
+		year := tuple.Str(parts[0]).Int()
+		if year < 2007 || year > 2008 {
+			t.Errorf("year out of range: %q", l)
+		}
+	}
+}
+
+func TestAirlineHubClamp(t *testing.T) {
+	lines := Airline(100, 9999, 3) // out-of-range hubs falls back
+	if len(lines) != 100 {
+		t.Fatal("generation failed with clamped hub count")
+	}
+}
+
+func TestWeatherShape(t *testing.T) {
+	lines := Weather(3000, 40, 4)
+	stations := map[string]bool{}
+	for _, l := range lines {
+		parts := strings.Split(l, "\t")
+		if len(parts) != 3 {
+			t.Fatalf("bad row %q", l)
+		}
+		stations[parts[0]] = true
+		date := tuple.Str(parts[1]).Int()
+		if date < 20050101 || date > 20091231 {
+			t.Errorf("date out of range: %q", l)
+		}
+	}
+	if len(stations) < 30 {
+		t.Errorf("station coverage = %d of 40", len(stations))
+	}
+}
