@@ -190,6 +190,36 @@ func BenchmarkAssuredFollowerRun(b *testing.B) {
 	}
 }
 
+// BenchmarkWorkerPoolAssuredRun measures the wall-clock effect of the
+// task-body worker pool on an r=3 replicated follower run. Virtual-time
+// results are identical across sub-benchmarks (the pool only overlaps
+// body computation); the wall-clock gap is the mechanism's payoff and
+// scales with GOMAXPROCS.
+func BenchmarkWorkerPoolAssuredRun(b *testing.B) {
+	data := workload.Twitter(20_000, 500, 1)
+	for _, w := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=gomaxprocs", 0}} {
+		b.Run(w.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := clusterbft.DefaultConfig()
+				cfg.R = 3
+				sys := clusterbft.New(16, 3, cfg)
+				sys.SetWorkers(w.workers)
+				sys.LoadData(workload.TwitterPath, data...)
+				res, err := sys.Run(workload.FollowerScript)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(res.LatencyUs), "virtual-us")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkPBFTInvoke measures one ordered op through a 3f+1 group.
 func BenchmarkPBFTInvoke(b *testing.B) {
 	for _, f := range []int{1, 3} {

@@ -128,6 +128,13 @@ func (s *System) InjectFaultWithFactor(node NodeID, kind FaultKind, probability 
 // replicas from stragglers and omission-hung tasks.
 func (s *System) SetSpeculation(on bool) { s.engine.Speculation = on }
 
+// SetWorkers bounds the pool that computes task bodies: 0 means
+// GOMAXPROCS, 1 serializes bodies. Every virtual-time observable
+// (latencies, metrics, digests, outputs) is identical at any setting —
+// the pool changes only wall-clock time. Must be called before the
+// first Run.
+func (s *System) SetWorkers(n int) { s.engine.Workers = n }
+
 // Run executes a script under BFT protection and blocks until the
 // simulation settles. Suspicion state persists across calls, so a stream
 // of Runs sharpens fault isolation.

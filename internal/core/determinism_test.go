@@ -51,6 +51,57 @@ func TestControllerFullyDeterministic(t *testing.T) {
 	}
 }
 
+// TestControllerDeterministicAcrossPoolSizes: the compute-eager /
+// commit-deterministic execution model promises that every virtual-time
+// observable — latency, attempts, suspects, metrics, digest counts and
+// verified output bytes — is byte-identical whether task bodies compute
+// on one worker or many, even through a commission fault, detection,
+// and speculative re-execution.
+func TestControllerDeterministicAcrossPoolSizes(t *testing.T) {
+	runWith := func(workers int) (*Result, []string) {
+		fs := dfs.New()
+		fs.Append("data/weather", weatherData(2000)...)
+		cl := cluster.New(12, 3)
+		if err := cl.SetAdversary("node-004", cluster.FaultCommission, 1.0, 77); err != nil {
+			t.Fatal(err)
+		}
+		cfg := DefaultConfig()
+		susp := NewSuspicionTable(0)
+		eng := mapred.NewEngine(fs, cl, NewOverlapScheduler(susp), mapred.DefaultCostModel())
+		eng.Workers = workers
+		eng.Speculation = true
+		ctrl := NewController(eng, cfg, susp, nil)
+		h := &harness{fs: fs, cl: cl, eng: eng, ctrl: ctrl}
+		res, err := ctrl.Run(weatherScript)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, h.outputLines(t, res, "out/counts")
+	}
+	base, baseOut := runWith(1)
+	for _, w := range []int{4, 8, 0} {
+		res, out := runWith(w)
+		if res.LatencyUs != base.LatencyUs {
+			t.Errorf("workers=%d: latency %d != %d", w, res.LatencyUs, base.LatencyUs)
+		}
+		if res.Attempts != base.Attempts || res.FaultyReplicas != base.FaultyReplicas {
+			t.Errorf("workers=%d: attempts/faults differ: %+v vs %+v", w, res, base)
+		}
+		if res.DigestReports != base.DigestReports {
+			t.Errorf("workers=%d: digest reports %d != %d", w, res.DigestReports, base.DigestReports)
+		}
+		if !reflect.DeepEqual(res.Suspects, base.Suspects) {
+			t.Errorf("workers=%d: suspects differ: %v vs %v", w, res.Suspects, base.Suspects)
+		}
+		if res.Metrics != base.Metrics {
+			t.Errorf("workers=%d: metrics differ:\n%+v\n%+v", w, res.Metrics, base.Metrics)
+		}
+		if !reflect.DeepEqual(out, baseOut) {
+			t.Errorf("workers=%d: verified outputs differ", w)
+		}
+	}
+}
+
 // TestControllerRepeatedRunsAdvanceClock: the virtual clock carries
 // across Run calls on one engine (suspicion history accumulates on a
 // consistent timeline).

@@ -120,6 +120,39 @@ func (w *Writer) flush(final bool) {
 	w.chunk++
 }
 
+// Buffer is a Report sink that records reports in emission order so a
+// task body computed off the simulation goroutine can hand its digests
+// back for deterministic replay at commit time. The zero value is ready
+// to use. A Buffer is owned by one task attempt: Add runs on the worker
+// computing the body, Replay on the committing goroutine; the engine's
+// future handoff sequences the two, so no locking is needed here.
+type Buffer struct {
+	reports []Report
+}
+
+// Add records one report. It is the emit callback wired into the
+// attempt's writers.
+func (b *Buffer) Add(r Report) { b.reports = append(b.reports, r) }
+
+// Len returns the number of buffered reports.
+func (b *Buffer) Len() int { return len(b.reports) }
+
+// Reports returns the buffered reports in emission order. The slice is
+// shared; callers must not mutate it.
+func (b *Buffer) Reports() []Report { return b.reports }
+
+// Replay feeds the buffered reports to sink in emission order — the
+// same order a Writer emitting straight into the sink would have
+// produced. A nil sink is a no-op (digests disabled).
+func (b *Buffer) Replay(sink func(Report)) {
+	if sink == nil {
+		return
+	}
+	for _, r := range b.reports {
+		sink(r)
+	}
+}
+
 // Of computes the one-shot digest of a full tuple stream; used by tests
 // and by offline re-verification.
 func Of(tuples []tuple.Tuple) Sum {

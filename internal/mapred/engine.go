@@ -2,12 +2,15 @@ package mapred
 
 import (
 	"container/heap"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"sort"
 
 	"clusterbft/internal/cluster"
 	"clusterbft/internal/dfs"
 	"clusterbft/internal/digest"
+	"clusterbft/internal/pool"
 )
 
 // CostModel sets the virtual-time costs of engine operations, in
@@ -121,13 +124,23 @@ func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h 
 // Engine is the deterministic virtual-time MapReduce runtime: a job
 // tracker (queue + dependency tracking), task trackers (node slots
 // claimed via heartbeat ticks), and the execution of real map/reduce
-// work. All callbacks run on the single simulation goroutine.
+// work. All engine state mutation happens on the single simulation
+// goroutine; the heavy data work of task bodies is computed eagerly on
+// a bounded worker pool the moment a task is dispatched, and its
+// effects (metrics, outputs, digest reports) commit in virtual-time
+// order on the simulation goroutine, keeping results byte-identical at
+// every pool size.
 type Engine struct {
 	FS      *dfs.FS
 	Cluster *cluster.Cluster
 	Sched   Scheduler
 	Cost    CostModel
 	Metrics Metrics
+
+	// Workers bounds how many task bodies compute concurrently on the
+	// host; 0 means GOMAXPROCS, 1 reproduces fully serial execution.
+	// Changing it after the first task dispatched has no effect.
+	Workers int
 
 	// DigestChunk is the paper's d: records per digest chunk (§6.4);
 	// <= 0 means one digest per task stream.
@@ -158,6 +171,29 @@ type Engine struct {
 	freeSlots  map[cluster.NodeID]int
 	sidBinding map[cluster.NodeID]map[string]int
 	tickArmed  bool
+
+	workers *pool.Pool
+	pending []pendingBody
+}
+
+// pendingBody is a task body dispatched to the worker pool but not yet
+// joined back into the simulation: settle waits on fut, charges the
+// duration and schedules the commit event.
+type pendingBody struct {
+	rt   *runningTask
+	fut  *pool.Future[bodyResult]
+	buf  *digest.Buffer
+	slow float64
+	hung bool
+}
+
+// bodyResult is what a task body computation yields: the attempt's
+// virtual duration and a commit closure applying its effects. The body
+// runs off the simulation goroutine and only reads state fixed before
+// dispatch; commit runs on the simulation goroutine at completion time.
+type bodyResult struct {
+	dur    int64
+	commit func()
 }
 
 // NewEngine builds an engine over the given storage and worker cluster.
@@ -273,21 +309,20 @@ func (e *Engine) readInput(path string) []string {
 }
 
 // splitHome deterministically assigns a "hosting" node for locality-aware
-// schedulers, spreading a file's splits round-robin from a hash of the
-// path.
+// schedulers by hashing (path, split) with FNV-1a. Unsigned arithmetic
+// throughout: the previous hand-rolled h*31 hash negated its sum, which
+// overflows for math.MinInt and left the distribution weak.
 func (e *Engine) splitHome(path string, split int) cluster.NodeID {
 	nodes := e.Cluster.Nodes()
 	if len(nodes) == 0 {
 		return ""
 	}
-	h := 0
-	for i := 0; i < len(path); i++ {
-		h = h*31 + int(path[i])
-	}
-	if h < 0 {
-		h = -h
-	}
-	return nodes[(h+split)%len(nodes)].ID
+	h := fnv.New64a()
+	h.Write([]byte(path))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(split))
+	h.Write(b[:])
+	return nodes[h.Sum64()%uint64(len(nodes))].ID
 }
 
 // armTick schedules the next heartbeat scheduling round if needed.
@@ -298,8 +333,9 @@ func (e *Engine) armTick() {
 	e.tickArmed = true
 	e.After(e.Cost.HeartbeatUs, func() {
 		e.tickArmed = false
-		e.tick()
-		e.armTick()
+		if e.tick() {
+			e.armTick()
+		}
 	})
 }
 
@@ -307,14 +343,21 @@ func (e *Engine) armTick() {
 // scheduler for work (§4.2 steps 1–5). The starting node rotates across
 // ticks — heartbeats arrive in no fixed order in Hadoop, and a fixed
 // order would starve high-numbered nodes on small workloads — while
-// keeping runs deterministic.
-func (e *Engine) tick() {
+// keeping runs deterministic. It reports whether another heartbeat is
+// worthwhile: when no free slot saw a single legal candidate, only an
+// engine event (completion, kill, submit, speculation) can change
+// schedulability, and every one of those re-arms the tick — so
+// re-arming here would spin the heartbeat forever on a permanently
+// unplaceable task (e.g. a backup whose only legal node hosts the hung
+// original).
+func (e *Engine) tick() bool {
 	nodes := e.Cluster.Nodes()
 	if len(nodes) == 0 {
-		return
+		return false
 	}
 	e.ticks++
 	start := e.ticks % len(nodes)
+	sawWork := false
 	for i := range nodes {
 		node := nodes[(start+i)%len(nodes)]
 		for e.freeSlots[node.ID] > 0 {
@@ -322,6 +365,7 @@ func (e *Engine) tick() {
 			if len(cands) == 0 {
 				break
 			}
+			sawWork = true
 			t := e.Sched.Pick(node, cands)
 			if t == nil {
 				break
@@ -329,6 +373,8 @@ func (e *Engine) tick() {
 			e.startTask(node, t)
 		}
 	}
+	e.settle()
+	return sawWork
 }
 
 // legalTasks filters the ready queue to tasks allowed on node: tasks of a
@@ -371,7 +417,18 @@ func (e *Engine) removeReady(t *Task) {
 	}
 }
 
-// startTask executes t on node and schedules its completion.
+// bodyPool lazily builds the worker pool computing task bodies.
+func (e *Engine) bodyPool() *pool.Pool {
+	if e.workers == nil {
+		e.workers = pool.New(e.Workers)
+	}
+	return e.workers
+}
+
+// startTask claims a slot for t on node and dispatches its body to the
+// worker pool. Bookkeeping (slots, bindings, attempt lists, adversary
+// draw) happens here on the simulation goroutine; the data work runs
+// concurrently and is joined by settle at the end of the tick.
 func (e *Engine) startTask(node *cluster.Node, t *Task) {
 	e.removeReady(t)
 	e.freeSlots[node.ID]--
@@ -386,7 +443,9 @@ func (e *Engine) startTask(node *cluster.Node, t *Task) {
 	rt := &runningTask{task: t, node: node.ID, start: e.now}
 	js.running[t.ID()] = append(js.running[t.ID()], rt)
 
-	// Byzantine behaviour draw (§2.3).
+	// Byzantine behaviour draw (§2.3). Drawn here, not in the body, so
+	// the adversary's seeded RNG advances in deterministic dispatch
+	// order.
 	var corrupt corruptFn
 	hung := false
 	slow := 1.0
@@ -401,32 +460,63 @@ func (e *Engine) startTask(node *cluster.Node, t *Task) {
 		}
 	}
 
-	var reports []digest.Report
+	// Digest reports are buffered per attempt and replayed at commit
+	// time, never emitted straight into the sink from the body: the
+	// body runs off the simulation goroutine and attempts may lose.
+	buf := &digest.Buffer{}
+	chunk := e.DigestChunk
 	df := func(point int) *digest.Writer {
 		key := digest.Key{SID: js.Spec.SID, Point: point, Task: t.ID()}
-		return digest.NewWriter(key, js.Spec.Replica, e.DigestChunk, func(r digest.Report) {
-			reports = append(reports, r)
-		})
+		return digest.NewWriter(key, js.Spec.Replica, chunk, buf.Add)
 	}
 
-	var dur int64
-	var commit func()
+	var body func() bodyResult
 	if t.Kind == MapTask {
-		dur, commit = e.execMap(node, t, df, corrupt)
+		body = e.mapBody(t, df, corrupt)
 	} else {
-		dur, commit = e.execReduce(t, df)
+		body = e.reduceBody(t, df)
 	}
-	if slow > 1 {
-		dur = int64(float64(dur) * slow)
-	}
-	e.Metrics.CPUTimeUs += dur
+	e.pending = append(e.pending, pendingBody{
+		rt:   rt,
+		fut:  pool.Go(e.bodyPool(), body),
+		buf:  buf,
+		slow: slow,
+		hung: hung,
+	})
 	e.armSpec()
+}
 
-	if hung {
-		rt.hung = true
-		e.Metrics.TasksHung++
-		return // no completion event: the node withholds the result
+// settle joins every task body dispatched this tick, in dispatch order:
+// charge CPU, then schedule the completion event that commits the
+// attempt's effects. All bodies of one tick start at the same virtual
+// instant, so joining after the assignment loop loses no virtual time
+// while letting the bodies compute concurrently on the pool.
+func (e *Engine) settle() {
+	pend := e.pending
+	e.pending = nil
+	for _, p := range pend {
+		res := p.fut.Wait()
+		dur := res.dur
+		if p.slow > 1 {
+			dur = int64(float64(dur) * p.slow)
+		}
+		e.Metrics.CPUTimeUs += dur
+		if p.hung {
+			p.rt.hung = true
+			e.Metrics.TasksHung++
+			continue // no completion event: the node withholds the result
+		}
+		e.scheduleCommit(p, dur, res.commit)
 	}
+}
+
+// scheduleCommit arms the completion event for one live attempt: at
+// start+dur the attempt's effects commit, unless the attempt died or a
+// sibling won the race in the meantime.
+func (e *Engine) scheduleCommit(p pendingBody, dur int64, commit func()) {
+	rt := p.rt
+	t := rt.task
+	js := t.Job
 	e.After(dur, func() {
 		if rt.dead {
 			return
@@ -438,9 +528,16 @@ func (e *Engine) startTask(node *cluster.Node, t *Task) {
 			return
 		}
 		js.committed[t.ID()] = true
+		// A queued backup copy that never started is dead weight now; a
+		// committed task must not linger on the ready queue (it would
+		// never be legal again, and would arm heartbeats forever).
+		e.removeReady(t)
 		if dur > js.maxDur[t.Kind] {
 			js.maxDur[t.Kind] = dur
 		}
+		// The first commit of a kind gives laggard siblings a baseline to
+		// be measured against; wake the sweep for them.
+		e.armSpec()
 		// Tear down losing sibling attempts (hung originals included).
 		for _, other := range js.running[t.ID()] {
 			other.dead = true
@@ -448,12 +545,8 @@ func (e *Engine) startTask(node *cluster.Node, t *Task) {
 		}
 		delete(js.running, t.ID())
 		// Digests first: when commit completes the job, the verifier
-		// must already hold this task's reports.
-		for _, r := range reports {
-			if e.DigestSink != nil {
-				e.DigestSink(r)
-			}
-		}
+		// must already hold this task's reports, in emission order.
+		p.buf.Replay(e.DigestSink)
 		commit()
 		e.armTick()
 	})
@@ -484,11 +577,18 @@ func (e *Engine) armSpec() {
 	})
 }
 
-// specSweep launches backups for laggard tasks and reports whether any
-// task is still running. Iteration follows submission order and sorted
+// specSweep launches backups for laggard tasks and reports whether a
+// future sweep could still act. Only a task with a single live attempt,
+// no backup yet, and a committed sibling to compare against can benefit
+// from the clock advancing — it either gets its backup now or on a
+// later sweep. Everything else (hung attempts with backups pending,
+// tasks with no committed sibling) changes state only through engine
+// events, and those re-arm the sweep; re-arming on "anything still
+// running" would spin the event loop forever when a hung task's backup
+// can never be placed. Iteration follows submission order and sorted
 // task IDs so runs stay deterministic.
 func (e *Engine) specSweep() bool {
-	anyRunning := false
+	again := false
 	for _, id := range e.jobOrder {
 		js := e.jobs[id]
 		if js == nil || js.Done || js.Killed {
@@ -504,7 +604,6 @@ func (e *Engine) specSweep() bool {
 			if len(rts) == 0 {
 				continue
 			}
-			anyRunning = true
 			base := js.maxDur[rts[0].task.Kind]
 			if base == 0 || js.speculated[tid] || len(rts) > 1 {
 				continue
@@ -514,44 +613,51 @@ func (e *Engine) specSweep() bool {
 				e.Metrics.SpeculativeTasks++
 				e.ready = append(e.ready, rts[0].task)
 				e.armTick()
+			} else {
+				again = true
 			}
 		}
 	}
-	return anyRunning
+	return again
 }
 
-// execMap runs a map task's data work immediately and returns its virtual
-// duration plus a commit closure applied at completion time.
-func (e *Engine) execMap(node *cluster.Node, t *Task, df digestFactory, corrupt corruptFn) (int64, func()) {
+// mapBody returns the map task's data work as a closure safe to run off
+// the simulation goroutine: it reads only state fixed before dispatch
+// (the split's lines, the job spec, the cost model) and writes only
+// attempt-local state (the outcome and the attempt's digest buffer).
+// The commit closure it yields runs back on the simulation goroutine.
+func (e *Engine) mapBody(t *Task, df digestFactory, corrupt corruptFn) func() bodyResult {
 	js := t.Job
 	split := js.splits[t.InputIdx][t.Index]
 	lines := js.inputLines[t.InputIdx][split[0]:split[1]]
-	out := runMapTask(js.Spec, t.InputIdx, lines, df, corrupt)
-
-	inBytes := linesBytes(lines)
-	dur := e.Cost.TaskStartupUs +
-		e.Cost.MapRecordUs*out.recordsIn +
-		e.Cost.DigestRecordUs*out.digested +
-		e.Cost.ShuffleRecordUs*out.recordsOut
-	commit := func() {
-		e.Metrics.MapTasks++
-		e.Metrics.RecordsIn += out.recordsIn
-		e.Metrics.HDFSBytesRead += inBytes
-		e.Metrics.LocalBytesWritten += out.localBytes
-		e.Metrics.DigestRecords += out.digested
-		ord := js.mapOrdinal[t.ID()]
-		js.mapOutcomes[ord] = out
-		js.mapsDone++
-		if js.Spec.Reduce == nil {
-			// Map-only job: task output is final.
-			e.writeOutput(js, partFileName(MapTask, t.InputIdx, t.Index), out.outLines)
-			e.Metrics.RecordsOut += out.recordsOut
+	cost := e.Cost
+	return func() bodyResult {
+		out := runMapTask(js.Spec, t.InputIdx, lines, df, corrupt)
+		inBytes := linesBytes(lines)
+		dur := cost.TaskStartupUs +
+			cost.MapRecordUs*out.recordsIn +
+			cost.DigestRecordUs*out.digested +
+			cost.ShuffleRecordUs*out.recordsOut
+		commit := func() {
+			e.Metrics.MapTasks++
+			e.Metrics.RecordsIn += out.recordsIn
+			e.Metrics.HDFSBytesRead += inBytes
+			e.Metrics.LocalBytesWritten += out.localBytes
+			e.Metrics.DigestRecords += out.digested
+			ord := js.mapOrdinal[t.ID()]
+			js.mapOutcomes[ord] = out
+			js.mapsDone++
+			if js.Spec.Reduce == nil {
+				// Map-only job: task output is final.
+				e.writeOutput(js, partFileName(MapTask, t.InputIdx, t.Index), out.outLines)
+				e.Metrics.RecordsOut += out.recordsOut
+			}
+			if js.mapsDone == js.mapsTotal {
+				e.mapsFinished(js)
+			}
 		}
-		if js.mapsDone == js.mapsTotal {
-			e.mapsFinished(js)
-		}
+		return bodyResult{dur: dur, commit: commit}
 	}
-	return dur, commit
 }
 
 // mapsFinished either completes a map-only job or enqueues reduces.
@@ -567,43 +673,49 @@ func (e *Engine) mapsFinished(js *JobState) {
 	e.armTick()
 }
 
-// execReduce runs a reduce task's data work and returns duration plus a
-// commit closure.
-func (e *Engine) execReduce(t *Task, df digestFactory) (int64, func()) {
+// reduceBody returns the reduce task's data work as a closure safe to
+// run off the simulation goroutine. Reduce tasks are only dispatched
+// after every map of the job committed, so js.mapOutcomes is immutable
+// while the body reads it (committed-task guards prevent late backup
+// attempts from writing outcomes again).
+func (e *Engine) reduceBody(t *Task, df digestFactory) func() bodyResult {
 	js := t.Job
-	var records []interRec
-	var localBytes int64
-	for _, out := range js.mapOutcomes {
-		if out == nil || t.Index >= len(out.partitions) {
-			continue
+	cost := e.Cost
+	return func() bodyResult {
+		var records []interRec
+		var localBytes int64
+		for _, out := range js.mapOutcomes {
+			if out == nil || t.Index >= len(out.partitions) {
+				continue
+			}
+			for _, r := range out.partitions[t.Index] {
+				records = append(records, r)
+				localBytes += r.bytes()
+			}
 		}
-		for _, r := range out.partitions[t.Index] {
-			records = append(records, r)
-			localBytes += r.bytes()
+		out, err := runReduceTask(js.Spec.Reduce, records, df)
+		if err != nil {
+			// Compiled specs cannot produce unknown reduce kinds; treat as a
+			// job with no output rather than crash the simulation.
+			out = &reduceOutcome{}
 		}
-	}
-	out, err := runReduceTask(js.Spec.Reduce, records, df)
-	if err != nil {
-		// Compiled specs cannot produce unknown reduce kinds; treat as a
-		// job with no output rather than crash the simulation.
-		out = &reduceOutcome{}
-	}
-	dur := e.Cost.TaskStartupUs +
-		e.Cost.ReduceRecordUs*(out.recordsIn+out.recordsOut) +
-		e.Cost.ShuffleRecordUs*out.recordsIn +
-		e.Cost.DigestRecordUs*out.digested
-	commit := func() {
-		e.Metrics.ReduceTasks++
-		e.Metrics.LocalBytesRead += localBytes
-		e.Metrics.DigestRecords += out.digested
-		e.Metrics.RecordsOut += out.recordsOut
-		e.writeOutput(js, partFileName(ReduceTask, 0, t.Index), out.outLines)
-		js.redsDone++
-		if js.redsDone == js.redsTotal {
-			e.completeJob(js)
+		dur := cost.TaskStartupUs +
+			cost.ReduceRecordUs*(out.recordsIn+out.recordsOut) +
+			cost.ShuffleRecordUs*out.recordsIn +
+			cost.DigestRecordUs*out.digested
+		commit := func() {
+			e.Metrics.ReduceTasks++
+			e.Metrics.LocalBytesRead += localBytes
+			e.Metrics.DigestRecords += out.digested
+			e.Metrics.RecordsOut += out.recordsOut
+			e.writeOutput(js, partFileName(ReduceTask, 0, t.Index), out.outLines)
+			js.redsDone++
+			if js.redsDone == js.redsTotal {
+				e.completeJob(js)
+			}
 		}
+		return bodyResult{dur: dur, commit: commit}
 	}
-	return dur, commit
 }
 
 // writeOutput persists task output and accounts the HDFS write.

@@ -101,8 +101,18 @@ func (c *opChain) close() {
 
 // sampleKeep deterministically selects a fraction of tuples by hashing
 // their canonical bytes, so every replica samples the same subset and
-// digests stay comparable (§5.4 determinism requirement).
+// digests stay comparable (§5.4 determinism requirement). fraction is
+// clamped to [0, 1]: it is client input, and converting a negative
+// float to uint64 yields a platform-dependent value in Go (the spec
+// leaves out-of-range float→integer conversions implementation-defined)
+// rather than the "keep nothing" a negative fraction means.
 func sampleKeep(t tuple.Tuple, fraction float64) bool {
+	if fraction <= 0 {
+		return false
+	}
+	if fraction >= 1 {
+		return true
+	}
 	h := fnv.New64a()
 	h.Write(tuple.AppendCanonical(nil, t))
 	const buckets = 1 << 20

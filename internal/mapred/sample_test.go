@@ -101,6 +101,40 @@ func TestSampleKeepHelper(t *testing.T) {
 	}
 }
 
+func TestSampleKeepFractionClamped(t *testing.T) {
+	// A negative fraction must keep nothing: before clamping, the
+	// float→uint64 conversion of a negative product is platform-defined
+	// in Go, so a hostile or buggy script could sample differently per
+	// replica and break digest comparability.
+	tuples := make([]tuple.Tuple, 0, 1000)
+	for i := 0; i < 1000; i++ {
+		tuples = append(tuples, tuple.Tuple{tuple.Int(int64(i)), tuple.Str("v")})
+	}
+	cases := []struct {
+		fraction float64
+		lo, hi   float64 // acceptable kept-fraction bounds
+	}{
+		{-0.1, 0, 0},
+		{0, 0, 0},
+		{0.5, 0.45, 0.55},
+		{1, 1, 1},
+		{1.5, 1, 1},
+	}
+	for _, tc := range cases {
+		kept := 0
+		for _, tp := range tuples {
+			if sampleKeep(tp, tc.fraction) {
+				kept++
+			}
+		}
+		frac := float64(kept) / float64(len(tuples))
+		if frac < tc.lo || frac > tc.hi {
+			t.Errorf("fraction %v kept %.3f of tuples, want within [%v, %v]",
+				tc.fraction, frac, tc.lo, tc.hi)
+		}
+	}
+}
+
 func TestCompileSampleIsMapSide(t *testing.T) {
 	jobs := compile(t, `
 a = LOAD 'x' AS (k, v:int);

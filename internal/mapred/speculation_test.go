@@ -190,3 +190,130 @@ func TestAdversarySlowdownDefault(t *testing.T) {
 }
 
 func parseHelper(src string) (*pig.Plan, error) { return pig.Parse(src) }
+
+func TestBackupNeverSharesNodeWithLiveOriginal(t *testing.T) {
+	// §4.2: a speculative backup defeats omission-fault recovery if it
+	// lands on the node still running (or hanging) the original, so the
+	// engine must never co-locate two live attempts of one task. Checked
+	// continuously over a run with hung originals and backups in flight.
+	eng, jobs := specFixture(t, 6, 2, true)
+	if err := eng.Cluster.SetAdversary("node-001", cluster.FaultOmission, 1.0, 3); err != nil {
+		t.Fatal(err)
+	}
+	js, err := eng.Submit(jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var check func()
+	check = func() {
+		for tid, rts := range js.running {
+			seen := map[cluster.NodeID]bool{}
+			for _, rt := range rts {
+				if rt.dead {
+					continue
+				}
+				if seen[rt.node] {
+					t.Errorf("task %s has two live attempts on %s", tid, rt.node)
+				}
+				seen[rt.node] = true
+			}
+		}
+		if !js.Done && !js.Killed && eng.Now() < 600_000_000 {
+			eng.After(500_000, check)
+		}
+	}
+	eng.After(500_000, check)
+	eng.Run()
+	if eng.Metrics.SpeculativeTasks == 0 {
+		t.Skip("no backups launched in this layout")
+	}
+	if !js.Done {
+		t.Fatal("backups on honest nodes should have rescued the job")
+	}
+}
+
+func TestUnplaceableBackupDoesNotSpinEngine(t *testing.T) {
+	// A single-node cluster with a sometimes-omission adversary: hung
+	// tasks earn backups, but the only legal node is the one hanging the
+	// original, so the backups can never be placed. The engine must go
+	// quiescent (Run returns, job incomplete) instead of re-arming
+	// heartbeats and speculation sweeps forever — before the fix this
+	// test never returned.
+	fs := dfs.New()
+	var lines []string
+	for i := 0; i < 30000; i++ {
+		lines = append(lines, fmt.Sprintf("%d\t%d", i%50, i))
+	}
+	fs.Append("in/edges", lines...)
+	jobs, err := compileHelper(followerSrc, CompileOptions{NumReduces: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(fs, cluster.New(1, 2), nil, DefaultCostModel())
+	eng.Speculation = true
+	if err := eng.Cluster.SetAdversary("node-000", cluster.FaultOmission, 0.5, 7); err != nil {
+		t.Fatal(err)
+	}
+	js, err := eng.Submit(jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if eng.Metrics.TasksHung == 0 || eng.Metrics.SpeculativeTasks == 0 {
+		t.Fatalf("scenario lost its shape: hung=%d spec=%d",
+			eng.Metrics.TasksHung, eng.Metrics.SpeculativeTasks)
+	}
+	if js.Done {
+		t.Fatal("a hung task with no legal backup node cannot complete")
+	}
+	// The queued backups stay pending — never started, never placed on
+	// the hanging node.
+	for _, rdy := range eng.ready {
+		for _, rt := range js.running[rdy.ID()] {
+			if !rt.hung {
+				t.Errorf("queued backup %s coexists with a live attempt", rdy.ID())
+			}
+		}
+	}
+}
+
+func TestCommittedTaskLeavesReadyQueue(t *testing.T) {
+	// A backup queued while the cluster is saturated may still be queued
+	// when the original commits; the commit must purge it from the ready
+	// queue. Before the fix the stale entry re-armed heartbeats forever
+	// and Run never returned. Single node + mixed straggler forces the
+	// shape: the backup is never placeable, and the slow original
+	// eventually commits on its own.
+	fs := dfs.New()
+	var lines []string
+	for i := 0; i < 30000; i++ {
+		lines = append(lines, fmt.Sprintf("%d\t%d", i%50, i))
+	}
+	fs.Append("in/edges", lines...)
+	jobs, err := compileHelper(followerSrc, CompileOptions{NumReduces: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(fs, cluster.New(1, 2), nil, DefaultCostModel())
+	eng.Speculation = true
+	adv := cluster.NewAdversary(cluster.FaultSlow, 0.5, 2)
+	adv.SlowFactor = 25
+	eng.Cluster.Nodes()[0].Adversary = adv
+	js, err := eng.Submit(jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if eng.Metrics.SpeculativeTasks == 0 {
+		t.Fatalf("scenario lost its shape: no backup queued")
+	}
+	if !js.Done {
+		t.Fatal("stragglers are benign; the job must complete")
+	}
+	if len(eng.ready) != 0 {
+		t.Fatalf("%d committed task(s) left on the ready queue", len(eng.ready))
+	}
+	if got := eng.FreeSlotsTotal(); got != eng.Cluster.TotalSlots() {
+		t.Errorf("free slots = %d, want %d", got, eng.Cluster.TotalSlots())
+	}
+}

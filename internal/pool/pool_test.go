@@ -1,0 +1,73 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestFutureReturnsResult(t *testing.T) {
+	p := New(2)
+	f := Go(p, func() int { return 42 })
+	if got := f.Wait(); got != 42 {
+		t.Fatalf("Wait = %d, want 42", got)
+	}
+	// Wait is idempotent.
+	if got := f.Wait(); got != 42 {
+		t.Fatalf("second Wait = %d, want 42", got)
+	}
+}
+
+func TestDefaultSize(t *testing.T) {
+	if New(0).Size() < 1 {
+		t.Error("default pool must have at least one slot")
+	}
+	if got := New(7).Size(); got != 7 {
+		t.Errorf("Size = %d, want 7", got)
+	}
+}
+
+func TestConcurrencyBounded(t *testing.T) {
+	const bound = 3
+	p := New(bound)
+	var active, peak int64
+	var mu sync.Mutex
+	release := make(chan struct{})
+	var futs []*Future[struct{}]
+	for i := 0; i < 20; i++ {
+		futs = append(futs, Go(p, func() struct{} {
+			n := atomic.AddInt64(&active, 1)
+			mu.Lock()
+			if n > peak {
+				peak = n
+			}
+			mu.Unlock()
+			<-release
+			atomic.AddInt64(&active, -1)
+			return struct{}{}
+		}))
+	}
+	close(release)
+	for _, f := range futs {
+		f.Wait()
+	}
+	if peak > bound {
+		t.Errorf("observed %d concurrent tasks, bound is %d", peak, bound)
+	}
+	if peak < 1 {
+		t.Error("no task ever ran")
+	}
+}
+
+func TestWaitInSubmissionOrderIsDeterministic(t *testing.T) {
+	p := New(4)
+	var futs []*Future[int]
+	for i := 0; i < 50; i++ {
+		futs = append(futs, Go(p, func() int { return i * i }))
+	}
+	for i, f := range futs {
+		if got := f.Wait(); got != i*i {
+			t.Fatalf("future %d = %d, want %d", i, got, i*i)
+		}
+	}
+}
