@@ -1,0 +1,23 @@
+package digest
+
+import (
+	"testing"
+
+	"clusterbft/internal/tuple"
+)
+
+// TestWriterAddAllocs pins the per-record cost of folding a tuple into a
+// verification digest: zero allocations once the writer's canonical
+// buffer is warm. Every record of every verified stream passes through
+// Add, so a regression here multiplies across whole jobs.
+func TestWriterAddAllocs(t *testing.T) {
+	w := NewWriter(Key{SID: "s", Point: 1, Task: "m0"}, 0, 0, func(Report) {})
+	row := tuple.Tuple{tuple.Int(7), tuple.Str("some-payload-column"), tuple.Float(2.5)}
+	w.Add(row) // warm the canonical buffer
+	got := testing.AllocsPerRun(200, func() {
+		w.Add(row)
+	})
+	if got != 0 {
+		t.Errorf("Writer.Add allocs/record = %v, want 0", got)
+	}
+}

@@ -73,6 +73,7 @@ func NewWriter(key Key, replica, every int, emit func(Report)) *Writer {
 		every:   every,
 		emit:    emit,
 		h:       sha256.New(),
+		buf:     make([]byte, 0, 128),
 	}
 }
 

@@ -1,0 +1,48 @@
+package mapred
+
+import (
+	"testing"
+
+	"clusterbft/internal/tuple"
+)
+
+// Shuffle-path allocation pins: partitioning and sampling run once per
+// shuffled record, so both must stay allocation-free (the inline FNV-1a
+// loops replaced hash/fnv's heap-allocated states; the sample hash runs
+// over a per-chain scratch buffer).
+
+func TestPartitionOfAllocs(t *testing.T) {
+	got := testing.AllocsPerRun(200, func() {
+		_ = partitionOf("1234\tsome-key", 16)
+	})
+	if got != 0 {
+		t.Errorf("partitionOf allocs/record = %v, want 0", got)
+	}
+}
+
+func TestSampleKeepHashAllocs(t *testing.T) {
+	row := tuple.Tuple{tuple.Int(42), tuple.Str("payload"), tuple.Int(7)}
+	scratch := make([]byte, 0, 128)
+	got := testing.AllocsPerRun(200, func() {
+		scratch = tuple.AppendCanonical(scratch[:0], row)
+		_ = sampleKeepHash(scratch, 0.5)
+	})
+	if got != 0 {
+		t.Errorf("sample path allocs/record = %v, want 0", got)
+	}
+}
+
+// TestSampleKeepHashMatchesWrapper: the scratch-buffer fast path and the
+// allocate-per-call wrapper must agree on every verdict (replicas mixing
+// the two would diverge on sampled subsets).
+func TestSampleKeepHashMatchesWrapper(t *testing.T) {
+	for i := 0; i < 500; i++ {
+		row := tuple.Tuple{tuple.Int(int64(i)), tuple.Str("v")}
+		canon := tuple.AppendCanonical(nil, row)
+		for _, frac := range []float64{-1, 0, 0.3, 0.9, 1, 2} {
+			if sampleKeep(row, frac) != sampleKeepHash(canon, frac) {
+				t.Fatalf("sampleKeep disagreement at i=%d frac=%v", i, frac)
+			}
+		}
+	}
+}

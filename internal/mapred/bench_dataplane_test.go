@@ -1,0 +1,278 @@
+package mapred
+
+// Micro-benchmarks for the per-record data plane: codec encode/decode,
+// shuffle hashing (partition + sample), map-task execution, each reduce
+// kind, and digest chunking. Every benchmark processes a fixed batch of
+// records per iteration and reports allocations, so allocs/op is the
+// per-batch allocation count tracked in BENCH_dataplane.json
+// (scripts/bench_dataplane.sh regenerates it; EXPERIMENTS.md records the
+// trajectory).
+
+import (
+	"fmt"
+	"testing"
+
+	"clusterbft/internal/digest"
+	"clusterbft/internal/pig"
+	"clusterbft/internal/tuple"
+)
+
+const benchBatch = 1000
+
+// benchEdgeLines generates benchBatch deterministic edge records shaped
+// like the Twitter workload (user\tfollower, ~200 hot keys).
+func benchEdgeLines() []string {
+	lines := make([]string, benchBatch)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("%d\t%d", i%200, (i*7919+13)%benchBatch)
+	}
+	return lines
+}
+
+func benchTuples() []tuple.Tuple {
+	rows := make([]tuple.Tuple, benchBatch)
+	for i := range rows {
+		rows[i] = tuple.Tuple{
+			tuple.Int(int64(i % 200)),
+			tuple.Str(fmt.Sprintf("payload-col-%d", i)),
+			tuple.Int(int64(i * 7)),
+		}
+	}
+	return rows
+}
+
+func benchCompile(b *testing.B, src string, opts CompileOptions) []*JobSpec {
+	b.Helper()
+	p, err := pig.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs, err := Compile(p, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return jobs
+}
+
+// benchShuffleRecords runs the map side of a compiled single-reduce job
+// over deterministic input lines and returns the shuffle records feeding
+// reduce partition 0 (NumReduces must be 1 so nothing is lost).
+func benchShuffleRecords(b *testing.B, job *JobSpec, inputs map[int][]string) []interRec {
+	b.Helper()
+	var records []interRec
+	for idx := range job.Inputs {
+		out := runMapTask(job, idx, inputs[idx], nil, nil)
+		for _, part := range out.partitions {
+			records = append(records, part...)
+		}
+	}
+	return records
+}
+
+func BenchmarkDataplaneCodecEncode(b *testing.B) {
+	rows := benchTuples()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range rows {
+			_ = tuple.EncodeLine(r)
+		}
+	}
+	b.ReportMetric(benchBatch, "records/op")
+}
+
+func BenchmarkDataplaneCanonicalAppend(b *testing.B) {
+	rows := benchTuples()
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range rows {
+			buf = tuple.AppendCanonical(buf[:0], r)
+		}
+	}
+	b.ReportMetric(benchBatch, "records/op")
+}
+
+func BenchmarkDataplaneCodecDecodePlain(b *testing.B) {
+	lines := benchEdgeLines()
+	schema := tuple.NewSchema("user", "follower")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range lines {
+			_ = tuple.DecodeLine(l, schema)
+		}
+	}
+	b.ReportMetric(benchBatch, "records/op")
+}
+
+func BenchmarkDataplaneCodecDecodeEscaped(b *testing.B) {
+	lines := make([]string, benchBatch)
+	for i := range lines {
+		lines[i] = tuple.EncodeLine(tuple.Tuple{
+			tuple.Str(fmt.Sprintf("a\tb-%d", i)),
+			tuple.Str("c\nd\\e"),
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, l := range lines {
+			_ = tuple.DecodeLine(l, nil)
+		}
+	}
+	b.ReportMetric(benchBatch, "records/op")
+}
+
+func BenchmarkDataplanePartitionOf(b *testing.B) {
+	keys := make([]string, benchBatch)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%d", i%200)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, k := range keys {
+			_ = partitionOf(k, 16)
+		}
+	}
+	b.ReportMetric(benchBatch, "records/op")
+}
+
+func BenchmarkDataplaneSampleKeep(b *testing.B) {
+	rows := benchTuples()
+	var scratch []byte // the opChain's per-task scratch, modelled here
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range rows {
+			scratch = tuple.AppendCanonical(scratch[:0], r)
+			_ = sampleKeepHash(scratch, 0.5)
+		}
+	}
+	b.ReportMetric(benchBatch, "records/op")
+}
+
+// BenchmarkDataplaneMapTaskShuffle is the full map hot path of the
+// follower job: decode, filter, key extraction, partitioning.
+func BenchmarkDataplaneMapTaskShuffle(b *testing.B) {
+	job := benchCompile(b, followerSrc, CompileOptions{NumReduces: 4})[0]
+	lines := benchEdgeLines()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = runMapTask(job, 0, lines, nil, nil)
+	}
+	b.ReportMetric(benchBatch, "records/op")
+}
+
+// BenchmarkDataplaneMapTaskMapOnly exercises the map-only output path
+// (decode, filter, project, encode).
+func BenchmarkDataplaneMapTaskMapOnly(b *testing.B) {
+	job := benchCompile(b, `
+a = LOAD 'in/edges' AS (user:int, follower:int);
+f = FILTER a BY follower != 0;
+p = FOREACH f GENERATE user, user * follower AS prod;
+STORE p INTO 'out/prod';
+`, CompileOptions{})[0]
+	lines := benchEdgeLines()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = runMapTask(job, 0, lines, nil, nil)
+	}
+	b.ReportMetric(benchBatch, "records/op")
+}
+
+func BenchmarkDataplaneReduceAggregate(b *testing.B) {
+	job := benchCompile(b, followerSrc, CompileOptions{NumReduces: 1})[0]
+	records := benchShuffleRecords(b, job, map[int][]string{0: benchEdgeLines()})
+	scratch := make([]interRec, len(records))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, records)
+		if _, err := runReduceTask(job.Reduce, scratch, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(records)), "records/op")
+}
+
+func BenchmarkDataplaneReduceJoin(b *testing.B) {
+	job := benchCompile(b, `
+a = LOAD 'in/left' AS (user:int, follower:int);
+b = LOAD 'in/right' AS (user:int, follower:int);
+j = JOIN a BY follower, b BY user;
+STORE j INTO 'out/joined';
+`, CompileOptions{NumReduces: 1})[0]
+	records := benchShuffleRecords(b, job, map[int][]string{
+		0: benchEdgeLines(),
+		1: benchEdgeLines(),
+	})
+	scratch := make([]interRec, len(records))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, records)
+		if _, err := runReduceTask(job.Reduce, scratch, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(records)), "records/op")
+}
+
+func BenchmarkDataplaneReduceDistinct(b *testing.B) {
+	job := benchCompile(b, `
+a = LOAD 'in/edges' AS (user:int, follower:int);
+d = DISTINCT a;
+STORE d INTO 'out/distinct';
+`, CompileOptions{NumReduces: 1})[0]
+	records := benchShuffleRecords(b, job, map[int][]string{0: benchEdgeLines()})
+	scratch := make([]interRec, len(records))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, records)
+		if _, err := runReduceTask(job.Reduce, scratch, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(records)), "records/op")
+}
+
+func BenchmarkDataplaneReduceSort(b *testing.B) {
+	job := benchCompile(b, `
+a = LOAD 'in/edges' AS (user:int, follower:int);
+o = ORDER a BY follower DESC, user;
+STORE o INTO 'out/sorted';
+`, CompileOptions{NumReduces: 1})[0]
+	records := benchShuffleRecords(b, job, map[int][]string{0: benchEdgeLines()})
+	scratch := make([]interRec, len(records))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(scratch, records)
+		if _, err := runReduceTask(job.Reduce, scratch, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(records)), "records/op")
+}
+
+// BenchmarkDataplaneDigestChunked streams the batch through a chunked
+// digest writer (d=100), the §6.4 verification hot path.
+func BenchmarkDataplaneDigestChunked(b *testing.B) {
+	rows := benchTuples()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := digest.NewWriter(digest.Key{SID: "s0", Point: 1, Task: "m000"}, 0, 100, func(digest.Report) {})
+		for _, r := range rows {
+			w.Add(r)
+		}
+		w.Close()
+	}
+	b.ReportMetric(benchBatch, "records/op")
+}

@@ -682,7 +682,16 @@ func (e *Engine) reduceBody(t *Task, df digestFactory) func() bodyResult {
 	js := t.Job
 	cost := e.Cost
 	return func() bodyResult {
-		var records []interRec
+		total := 0
+		for _, out := range js.mapOutcomes {
+			if out != nil && t.Index < len(out.partitions) {
+				total += len(out.partitions[t.Index])
+			}
+		}
+		// One exact-size allocation; the copy also gives runReduceTask a
+		// slice this attempt owns (grouping sorts it in place, and backup
+		// attempts of the same task must not share it).
+		records := make([]interRec, 0, total)
 		var localBytes int64
 		for _, out := range js.mapOutcomes {
 			if out == nil || t.Index >= len(out.partitions) {

@@ -2,8 +2,7 @@ package mapred
 
 import (
 	"fmt"
-	"hash/fnv"
-	"sort"
+	"slices"
 	"strings"
 
 	"clusterbft/internal/digest"
@@ -19,12 +18,13 @@ type interRec struct {
 	key    tuple.Tuple
 	tag    int
 	t      tuple.Tuple
+	encLen int // len(EncodeLine(t)), fixed at record creation
 }
 
 // bytes estimates the serialized size of the record for local-I/O
 // accounting (key + payload + framing).
 func (r interRec) bytes() int64 {
-	return int64(len(r.keyStr)) + int64(len(tuple.EncodeLine(r.t))) + 2
+	return int64(len(r.keyStr)) + int64(r.encLen) + 2
 }
 
 // digestFactory builds the digest writer for one verification point of
@@ -38,6 +38,7 @@ type opChain struct {
 	writers []*digest.Writer // parallel to ops; non-nil only for digests
 	passed  []int64          // parallel to ops; PhysLimit counters
 	digests int64            // records folded into digest writers
+	scratch []byte           // reusable canonical-encode buffer (sampling)
 }
 
 func newOpChain(ops []Op, df digestFactory) *opChain {
@@ -82,7 +83,8 @@ func (c *opChain) apply(t tuple.Tuple) (tuple.Tuple, bool) {
 			}
 			c.passed[i]++
 		case PhysSample:
-			if !sampleKeep(t, op.Fraction) {
+			c.scratch = tuple.AppendCanonical(c.scratch[:0], t)
+			if !sampleKeepHash(c.scratch, op.Fraction) {
 				return nil, false
 			}
 		}
@@ -107,30 +109,57 @@ func (c *opChain) close() {
 // leaves out-of-range float→integer conversions implementation-defined)
 // rather than the "keep nothing" a negative fraction means.
 func sampleKeep(t tuple.Tuple, fraction float64) bool {
+	return sampleKeepHash(tuple.AppendCanonical(nil, t), fraction)
+}
+
+// FNV-1a parameters, inlined so the hot path hashes without the
+// heap-allocated hash.Hash of hash/fnv. The loops below fold bytes
+// exactly as fnv.New64a/New32a do (xor then multiply), so every hash
+// value — and with it sampling subsets and shuffle placement — is
+// unchanged.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// sampleKeepHash is sampleKeep over pre-encoded canonical bytes; callers
+// on the per-record path reuse one scratch buffer for the encoding.
+func sampleKeepHash(canon []byte, fraction float64) bool {
 	if fraction <= 0 {
 		return false
 	}
 	if fraction >= 1 {
 		return true
 	}
-	h := fnv.New64a()
-	h.Write(tuple.AppendCanonical(nil, t))
+	h := uint64(fnvOffset64)
+	for _, b := range canon {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
 	const buckets = 1 << 20
-	return h.Sum64()%buckets < uint64(fraction*buckets)
+	return h%buckets < uint64(fraction*buckets)
 }
 
-// partitionOf hash-partitions a shuffle key string.
+// partitionOf hash-partitions a shuffle key string (inline FNV-1a over
+// the string bytes; no []byte copy).
 func partitionOf(keyStr string, numReduces int) int {
 	if numReduces <= 1 {
 		return 0
 	}
-	h := fnv.New32a()
-	h.Write([]byte(keyStr))
-	return int(h.Sum32() % uint32(numReduces))
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(keyStr); i++ {
+		h ^= uint32(keyStr[i])
+		h *= fnvPrime32
+	}
+	return int(h % uint32(numReduces))
 }
 
-// extractKey projects the shuffle key out of a post-chain tuple.
-func extractKey(t tuple.Tuple, keyCols []int) (string, tuple.Tuple) {
+// extractKey projects the shuffle key out of a post-chain tuple,
+// encoding the canonical key string through the caller's scratch buffer
+// (returned possibly grown).
+func extractKey(t tuple.Tuple, keyCols []int, scratch []byte) (string, tuple.Tuple, []byte) {
 	key := make(tuple.Tuple, len(keyCols))
 	for i, c := range keyCols {
 		if c < len(t) {
@@ -139,7 +168,8 @@ func extractKey(t tuple.Tuple, keyCols []int) (string, tuple.Tuple) {
 			key[i] = tuple.Null()
 		}
 	}
-	return tuple.EncodeLine(key), key
+	scratch = tuple.AppendEncoded(scratch[:0], key)
+	return string(scratch), key, scratch
 }
 
 // mapOutcome carries the effects of one executed map task.
@@ -164,7 +194,12 @@ func runMapTask(job *JobSpec, inputIdx int, lines []string, df digestFactory, co
 	shuffle := in.KeyCols != nil
 	if shuffle {
 		out.partitions = make([][]interRec, job.NumReduces)
+		per := len(lines)/job.NumReduces + 1
+		for p := range out.partitions {
+			out.partitions[p] = make([]interRec, 0, per)
+		}
 	}
+	var scratch []byte // per-task encode buffer, reused across records
 	for _, line := range lines {
 		t := tuple.DecodeLine(line, in.Schema)
 		out.recordsIn++
@@ -177,13 +212,16 @@ func runMapTask(job *JobSpec, inputIdx int, lines []string, df digestFactory, co
 		}
 		out.recordsOut++
 		if shuffle {
-			keyStr, key := extractKey(t, in.KeyCols)
-			rec := interRec{keyStr: keyStr, key: key, tag: in.Tag, t: t}
+			var keyStr string
+			var key tuple.Tuple
+			keyStr, key, scratch = extractKey(t, in.KeyCols, scratch)
+			rec := interRec{keyStr: keyStr, key: key, tag: in.Tag, t: t, encLen: tuple.EncodedLen(t)}
 			p := partitionOf(keyStr, job.NumReduces)
 			out.partitions[p] = append(out.partitions[p], rec)
 			out.localBytes += rec.bytes()
 		} else {
-			out.outLines = append(out.outLines, tuple.EncodeLine(t))
+			scratch = tuple.AppendEncoded(scratch[:0], t)
+			out.outLines = append(out.outLines, string(scratch))
 		}
 	}
 	out.digested = chain.digests
@@ -201,77 +239,74 @@ type reduceOutcome struct {
 // runReduceTask executes one reduce task over its partition's records,
 // which the caller supplies in deterministic map-task order (the engine's
 // stand-in for the paper's §5.4 "order intermediate output by mapper id"
-// determinism fix).
+// determinism fix). Grouping kinds sort an index permutation by
+// (keyStr, arrival) and walk equal-key runs: keys are visited in sorted
+// order with values in arrival order, exactly the emission order the
+// old map+sort.Strings grouping produced, but with no map churn and no
+// moves of the records themselves (an in-place stable sort of the
+// pointer-heavy interRec spends most of its time in write barriers).
 func runReduceTask(spec *ReduceSpec, records []interRec, df digestFactory) (*reduceOutcome, error) {
 	chain := newOpChain(spec.PostOps, df)
 	defer chain.close()
 	out := &reduceOutcome{recordsIn: int64(len(records))}
+	var scratch []byte // per-task encode buffer, reused across emits
 	emit := func(t tuple.Tuple) {
 		if t, ok := chain.apply(t); ok {
 			out.recordsOut++
-			out.outLines = append(out.outLines, tuple.EncodeLine(t))
+			scratch = tuple.AppendEncoded(scratch[:0], t)
+			out.outLines = append(out.outLines, string(scratch))
 		}
 	}
 
 	switch spec.Kind {
 	case ReduceSort:
-		tuples := make([]tuple.Tuple, len(records))
-		for i, r := range records {
-			tuples[i] = r.t
-		}
+		idx := identityOrder(len(records))
 		if len(spec.OrderBy) > 0 {
-			sort.SliceStable(tuples, func(i, j int) bool {
-				return orderLess(tuples[i], tuples[j], spec.OrderBy)
+			slices.SortFunc(idx, func(a, b int32) int {
+				if c := orderCmp(records[a].t, records[b].t, spec.OrderBy); c != 0 {
+					return c
+				}
+				return int(a - b) // arrival tie-break = stable sort
 			})
 		}
-		for _, t := range tuples {
-			emit(t)
+		for _, i := range idx {
+			emit(records[i].t)
 		}
 	case ReduceDistinct:
-		seen := make(map[string]bool, len(records))
-		keys := make([]string, 0, len(records))
-		byKey := make(map[string]tuple.Tuple, len(records))
-		for _, r := range records {
-			if !seen[r.keyStr] {
-				seen[r.keyStr] = true
-				keys = append(keys, r.keyStr)
-				byKey[r.keyStr] = r.t
+		forEachGroup(records, keyOrder(records), func(group []int32) {
+			emit(records[group[0]].t) // first arrival of each key, keys sorted
+		})
+	case ReduceAggregate:
+		forEachGroup(records, keyOrder(records), func(group []int32) {
+			emit(aggregateGroup(spec.Gens, records, group))
+		})
+	case ReduceJoin:
+		forEachGroup(records, keyOrder(records), func(group []int32) {
+			// Split by tag; arrival order within each side is preserved
+			// by the key sort's arrival tie-break.
+			left := 0
+			for _, i := range group {
+				if records[i].tag == 0 {
+					left++
+				}
 			}
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			emit(byKey[k])
-		}
-	case ReduceAggregate, ReduceJoin:
-		groups := make(map[string][]interRec)
-		keys := make([]string, 0)
-		for _, r := range records {
-			if _, ok := groups[r.keyStr]; !ok {
-				keys = append(keys, r.keyStr)
-			}
-			groups[r.keyStr] = append(groups[r.keyStr], r)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			group := groups[k]
-			if spec.Kind == ReduceAggregate {
-				emit(aggregateGroup(spec.Gens, group))
-				continue
-			}
-			var left, right []tuple.Tuple
-			for _, r := range group {
-				if r.tag == 0 {
-					left = append(left, r.t)
+			sides := make([]tuple.Tuple, len(group))
+			l, r := 0, left
+			for _, i := range group {
+				if records[i].tag == 0 {
+					sides[l] = records[i].t
+					l++
 				} else {
-					right = append(right, r.t)
+					sides[r] = records[i].t
+					r++
 				}
 			}
-			for _, l := range left {
-				for _, r := range right {
-					emit(tuple.Concat(l, r))
+			for _, lt := range sides[:left] {
+				for _, rt := range sides[left:] {
+					emit(tuple.Concat(lt, rt))
 				}
 			}
-		}
+		})
 	default:
 		return nil, fmt.Errorf("mapred: unknown reduce kind %v", spec.Kind)
 	}
@@ -279,7 +314,45 @@ func runReduceTask(spec *ReduceSpec, records []interRec, df digestFactory) (*red
 	return out, nil
 }
 
-func orderLess(a, b tuple.Tuple, keys []pig.OrderKey) bool {
+func identityOrder(n int) []int32 {
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	return idx
+}
+
+// keyOrder returns the permutation of records' indices ordered by
+// (keyStr, arrival) — the stable-by-key order (§5.4) — while the
+// records stay put.
+func keyOrder(records []interRec) []int32 {
+	idx := identityOrder(len(records))
+	slices.SortFunc(idx, func(a, b int32) int {
+		if c := strings.Compare(records[a].keyStr, records[b].keyStr); c != 0 {
+			return c
+		}
+		return int(a - b) // arrival tie-break = stable sort
+	})
+	return idx
+}
+
+// forEachGroup walks maximal equal-key runs of the key-sorted
+// permutation idx. Group slices alias idx and are only valid for the
+// call.
+func forEachGroup(records []interRec, idx []int32, fn func(group []int32)) {
+	for start := 0; start < len(idx); {
+		key := records[idx[start]].keyStr
+		end := start + 1
+		for end < len(idx) && records[idx[end]].keyStr == key {
+			end++
+		}
+		fn(idx[start:end])
+		start = end
+	}
+}
+
+// orderCmp compares two tuples under an ORDER BY key list, three-way.
+func orderCmp(a, b tuple.Tuple, keys []pig.OrderKey) int {
 	for _, k := range keys {
 		var av, bv tuple.Value
 		if k.Col < len(a) {
@@ -293,36 +366,36 @@ func orderLess(a, b tuple.Tuple, keys []pig.OrderKey) bool {
 			continue
 		}
 		if k.Desc {
-			return c > 0
+			return -c
 		}
-		return c < 0
+		return c
 	}
-	return false
+	return 0
 }
 
 // aggregateGroup evaluates one grouped FOREACH row: key expressions over
-// the group key, aggregates over the bag.
-func aggregateGroup(gens []pig.GenItem, group []interRec) tuple.Tuple {
-	key := group[0].key
+// the group key, aggregates over the bag (group indexes records).
+func aggregateGroup(gens []pig.GenItem, records []interRec, group []int32) tuple.Tuple {
+	key := records[group[0]].key
 	out := make(tuple.Tuple, len(gens))
 	for i, gen := range gens {
 		if gen.Agg == nil {
 			out[i] = gen.Expr.Eval(key)
 			continue
 		}
-		out[i] = applyAggregate(gen.Agg, group)
+		out[i] = applyAggregate(gen.Agg, records, group)
 	}
 	return out
 }
 
-func applyAggregate(agg *pig.Aggregate, group []interRec) tuple.Value {
+func applyAggregate(agg *pig.Aggregate, records []interRec, group []int32) tuple.Value {
 	switch agg.Func {
 	case "count":
 		return tuple.Int(int64(len(group)))
 	case "sum", "avg":
 		sum := tuple.Int(0)
-		for _, r := range group {
-			sum = tuple.Add(sum, colOf(r.t, agg.ColIdx))
+		for _, i := range group {
+			sum = tuple.Add(sum, colOf(records[i].t, agg.ColIdx))
 		}
 		if agg.Func == "sum" {
 			return sum
@@ -331,9 +404,9 @@ func applyAggregate(agg *pig.Aggregate, group []interRec) tuple.Value {
 		// the paper's prototype (§5.4) when operands are integral.
 		return tuple.Div(sum, tuple.Int(int64(len(group))))
 	case "min", "max":
-		best := colOf(group[0].t, agg.ColIdx)
-		for _, r := range group[1:] {
-			v := colOf(r.t, agg.ColIdx)
+		best := colOf(records[group[0]].t, agg.ColIdx)
+		for _, i := range group[1:] {
+			v := colOf(records[i].t, agg.ColIdx)
 			c := tuple.Compare(v, best)
 			if (agg.Func == "min" && c < 0) || (agg.Func == "max" && c > 0) {
 				best = v

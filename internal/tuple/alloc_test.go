@@ -1,0 +1,58 @@
+package tuple
+
+import "testing"
+
+// Allocation regressions in the codec multiply across every record the
+// engine touches, so the per-record costs are pinned here with
+// testing.AllocsPerRun. The budgets are exact: a fix that adds an
+// allocation must consciously raise them.
+
+func TestDecodeLinePlainAllocs(t *testing.T) {
+	schema := NewSchema("user", "follower", "note")
+	line := "1234\t5678\tplain-text-field"
+	got := testing.AllocsPerRun(200, func() {
+		_ = DecodeLine(line, schema)
+	})
+	// Exactly the Tuple backing array: escape-free fields slice the line.
+	if got != 1 {
+		t.Errorf("DecodeLine (escape-free) allocs/record = %v, want 1", got)
+	}
+}
+
+func TestAppendCanonicalAllocs(t *testing.T) {
+	row := Tuple{Int(42), Str("payload-column"), Float(1.5), Null()}
+	buf := make([]byte, 0, 128)
+	got := testing.AllocsPerRun(200, func() {
+		buf = AppendCanonical(buf[:0], row)
+	})
+	if got != 0 {
+		t.Errorf("AppendCanonical (warm buffer) allocs/record = %v, want 0", got)
+	}
+}
+
+func TestEncodedLenAllocs(t *testing.T) {
+	row := Tuple{Int(-9000), Str("a\tb"), Float(2.25)}
+	got := testing.AllocsPerRun(200, func() {
+		_ = EncodedLen(row)
+	})
+	if got != 0 {
+		t.Errorf("EncodedLen allocs/record = %v, want 0", got)
+	}
+}
+
+func TestEncodedLenMatchesEncodeLine(t *testing.T) {
+	rows := []Tuple{
+		{},
+		{Null()},
+		{Int(0)},
+		{Int(-9223372036854775808), Int(9223372036854775807)},
+		{Float(0.1), Float(-2.5e300), Float(3)},
+		{Str(""), Str("plain"), Str("tab\tnl\nbs\\")},
+		{Int(7), Str("x"), Null(), Float(1.25)},
+	}
+	for _, r := range rows {
+		if got, want := EncodedLen(r), len(EncodeLine(r)); got != want {
+			t.Errorf("EncodedLen(%v) = %d, len(EncodeLine) = %d", r, got, want)
+		}
+	}
+}

@@ -15,36 +15,52 @@ import (
 // as the empty tuple. Replicas process identical streams identically, so
 // digest comparison is unaffected; schema-carrying consumers should
 // treat zero-column records as absent rows.
+//
+// The codec is the per-record hot path of the whole engine (every map
+// input, shuffle key, digest fold and output line goes through it), so
+// the Append* entry points write into caller-owned buffers and allocate
+// nothing themselves; numeric values are formatted with strconv's
+// append forms rather than through Value.Str.
 
 // EncodeLine renders t as one tab-separated record without a trailing
 // newline.
 func EncodeLine(t Tuple) string {
-	var b strings.Builder
-	AppendLine(&b, t)
-	return b.String()
+	buf := make([]byte, 0, EncodedLen(t))
+	return string(AppendEncoded(buf, t))
 }
 
-// AppendLine writes the tab-separated encoding of t to b.
-func AppendLine(b *strings.Builder, t Tuple) {
+// AppendEncoded appends the tab-separated encoding of t (no trailing
+// newline) to dst and returns the extended slice. It allocates only when
+// dst lacks capacity, so a caller looping over records can reuse one
+// scratch buffer across the whole stream.
+func AppendEncoded(dst []byte, t Tuple) []byte {
 	for i, v := range t {
 		if i > 0 {
-			b.WriteByte('\t')
+			dst = append(dst, '\t')
 		}
-		escapeTo(b, v.Str())
+		dst = appendEscapedValue(dst, v)
 	}
+	return dst
 }
 
 // AppendCanonical appends the canonical byte encoding of t (the escaped
 // tab-separated record followed by '\n') to dst and returns the extended
 // slice. This is the exact byte stream fed to verification digests.
 func AppendCanonical(dst []byte, t Tuple) []byte {
+	return append(AppendEncoded(dst, t), '\n')
+}
+
+// EncodedLen returns len(EncodeLine(t)) without encoding: the shuffle
+// path sizes record-byte accounting and encode buffers with it.
+func EncodedLen(t Tuple) int {
+	n := 0
 	for i, v := range t {
 		if i > 0 {
-			dst = append(dst, '\t')
+			n++
 		}
-		dst = appendEscaped(dst, v.Str())
+		n += escapedValueLen(v)
 	}
-	return append(dst, '\n')
+	return n
 }
 
 // DecodeLine parses one encoded record into a tuple, coercing columns by
@@ -54,35 +70,58 @@ func DecodeLine(line string, schema *Schema) Tuple {
 	if line == "" {
 		return Tuple{}
 	}
+	if strings.IndexByte(line, '\\') < 0 {
+		return decodePlain(line, schema)
+	}
 	fields := splitEscaped(line)
 	t := make(Tuple, len(fields))
 	for i, raw := range fields {
-		ft := TypeAny
-		if schema != nil && i < len(schema.Fields) {
-			ft = schema.Fields[i].Type
-		}
-		t[i] = ft.Coerce(raw)
+		t[i] = fieldType(schema, i).Coerce(raw)
 	}
 	return t
 }
 
-func escapeTo(b *strings.Builder, s string) {
-	if !strings.ContainsAny(s, "\t\n\\") {
-		b.WriteString(s)
-		return
-	}
-	for i := 0; i < len(s); i++ {
-		switch s[i] {
-		case '\t':
-			b.WriteString(`\t`)
-		case '\n':
-			b.WriteString(`\n`)
-		case '\\':
-			b.WriteString(`\\`)
-		default:
-			b.WriteByte(s[i])
+// decodePlain is the escape-free fast path: every field is a direct
+// slice of line, so the only allocation is the tuple itself.
+func decodePlain(line string, schema *Schema) Tuple {
+	t := make(Tuple, strings.Count(line, "\t")+1)
+	start := 0
+	for i := range t {
+		rest := line[start:]
+		end := strings.IndexByte(rest, '\t')
+		if end < 0 {
+			end = len(rest)
 		}
+		t[i] = fieldType(schema, i).Coerce(rest[:end])
+		start += end + 1
 	}
+	return t
+}
+
+func fieldType(schema *Schema, i int) FieldType {
+	if schema != nil && i < len(schema.Fields) {
+		return schema.Fields[i].Type
+	}
+	return TypeAny
+}
+
+// appendEscapedValue appends the escaped text form of v. Numeric and
+// null values never contain escape bytes, so only strings go through the
+// escape scan.
+func appendEscapedValue(dst []byte, v Value) []byte {
+	if v.kind == KindString {
+		return appendEscaped(dst, v.s)
+	}
+	return v.appendText(dst)
+}
+
+// escapedValueLen returns len of the escaped text form of v without
+// allocating.
+func escapedValueLen(v Value) int {
+	if v.kind == KindString {
+		return escapedLen(v.s)
+	}
+	return v.textLen()
 }
 
 func appendEscaped(dst []byte, s string) []byte {
@@ -104,7 +143,20 @@ func appendEscaped(dst []byte, s string) []byte {
 	return dst
 }
 
-// splitEscaped splits a record on unescaped tabs and unescapes each field.
+// escapedLen is len(appendEscaped(nil, s)) without the encode.
+func escapedLen(s string) int {
+	n := len(s)
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\t', '\n', '\\':
+			n++
+		}
+	}
+	return n
+}
+
+// splitEscaped splits a record on unescaped tabs and unescapes each
+// field (slow path: the line is known to contain at least one escape).
 func splitEscaped(line string) []string {
 	var fields []string
 	var cur strings.Builder

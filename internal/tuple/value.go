@@ -126,6 +126,39 @@ func (v Value) Str() string {
 	}
 }
 
+// appendText appends the canonical textual form of v (exactly Str's
+// output) to dst using strconv's append forms, so encoding a numeric
+// value allocates nothing when dst has capacity.
+func (v Value) appendText(dst []byte) []byte {
+	switch v.kind {
+	case KindInt:
+		return strconv.AppendInt(dst, v.i, 10)
+	case KindFloat:
+		return strconv.AppendFloat(dst, v.f, 'g', -1, 64)
+	case KindString:
+		return append(dst, v.s...)
+	default:
+		return dst
+	}
+}
+
+// textLen returns len(v.Str()) without allocating: numeric values format
+// into a stack buffer, strings and nulls are direct lengths.
+func (v Value) textLen() int {
+	switch v.kind {
+	case KindInt:
+		var tmp [20]byte // len("-9223372036854775808")
+		return len(strconv.AppendInt(tmp[:0], v.i, 10))
+	case KindFloat:
+		var tmp [32]byte
+		return len(strconv.AppendFloat(tmp[:0], v.f, 'g', -1, 64))
+	case KindString:
+		return len(v.s)
+	default:
+		return 0
+	}
+}
+
 // Truthy reports whether the value is "true" in a boolean context:
 // non-zero numbers and non-empty strings.
 func (v Value) Truthy() bool {
