@@ -3,9 +3,13 @@
 // Usage:
 //
 //	experiments [-exp all|fig9|fig10|table3|fig11|fig12|fig13|fig14] [-scale small|paper]
+//	            [--trace=run.json] [--metrics]
 //
 // Each experiment prints rows shaped like the paper's (§6); see
-// EXPERIMENTS.md for the mapping and the expected shapes.
+// EXPERIMENTS.md for the mapping and the expected shapes. --trace
+// collects every engine run's spans into one Chrome trace_event timeline
+// (plus a .jsonl twin); --metrics prints the accumulated registry after
+// all selected experiments.
 package main
 
 import (
@@ -14,12 +18,32 @@ import (
 	"os"
 
 	"clusterbft/internal/experiments"
+	"clusterbft/internal/mapred"
+	"clusterbft/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, fig9, fig10, table3, fig11, fig12, fig13, fig14")
 	scaleName := flag.String("scale", "small", "workload scale: small or paper")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline here (a .jsonl twin is written next to it)")
+	metrics := flag.Bool("metrics", false, "print the accumulated metrics registry after the experiments")
 	flag.Parse()
+
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	if *traceFile != "" {
+		tracer = obs.NewTracer(0)
+		tracer.EnableWallClock(obs.WallUnixMicros)
+	}
+	if reg != nil || tracer != nil {
+		experiments.Observe = func(e *mapred.Engine) {
+			e.InstrumentMetrics(reg)
+			e.Trace = tracer
+		}
+	}
 
 	var sc experiments.Scale
 	switch *scaleName {
@@ -61,6 +85,19 @@ func main() {
 	if !matched {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+
+	if tracer != nil {
+		twin, err := obs.WriteTraceFiles(tracer, *traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %s (chrome://tracing, Perfetto)  jsonl: %s  spans: %d  dropped: %d\n",
+			*traceFile, twin, tracer.Len(), tracer.Dropped())
+	}
+	if reg != nil {
+		fmt.Printf("\nmetrics:\n%s", reg.RenderText())
 	}
 }
 

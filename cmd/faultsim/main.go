@@ -5,14 +5,25 @@
 // Usage:
 //
 //	faultsim [-p 0.6] [-f 1] [-mix r1|r2|large] [-time 300] [-seed 1] [-trials 1]
+//	         [-timeline 40] [--trace=run.json] [--metrics]
+//
+// -timeline prints the suspicion convergence timeline — every digest
+// mismatch, intersection/exoneration step, and conviction, stamped with
+// the simulator tick it happened at. --trace exports the same audit
+// trail as a Chrome trace_event timeline (one row per event kind, plus a
+// .jsonl twin); --metrics prints run counters as a registry snapshot.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
+	"clusterbft/internal/analyze"
+	"clusterbft/internal/cluster"
 	"clusterbft/internal/faultsim"
+	"clusterbft/internal/obs"
 )
 
 func main() {
@@ -22,6 +33,9 @@ func main() {
 	simTime := flag.Int("time", 300, "simulated ticks")
 	seed := flag.Int64("seed", 1, "random seed")
 	trials := flag.Int("trials", 1, "averaging trials for jobs-to-isolate")
+	timeline := flag.Int("timeline", 0, "print the last N suspicion audit events (-1 = all, 0 = off)")
+	traceFile := flag.String("trace", "", "write the audit trail as Chrome trace_event JSON here (a .jsonl twin is written next to it)")
+	metrics := flag.Bool("metrics", false, "print run counters as a metrics registry snapshot")
 	flag.Parse()
 
 	var mix faultsim.Mix
@@ -65,4 +79,60 @@ func main() {
 			fmt.Printf("%4d  %3d  %3d  %4d\n", s.Time, s.Low, s.Med, s.High)
 		}
 	}
+
+	if *timeline != 0 {
+		max := *timeline
+		if max < 0 {
+			max = 0 // RenderTimeline treats <= 0 as "everything"
+		}
+		fmt.Printf("\nsuspicion convergence timeline (%d events, t = simulator tick):\n%s",
+			len(res.Timeline), res.RenderTimeline(max))
+	}
+	if *traceFile != "" {
+		twin, err := obs.WriteTraceFiles(auditTracer(res.Timeline), *traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "trace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace: %s (chrome://tracing, Perfetto)  jsonl: %s  events: %d\n",
+			*traceFile, twin, len(res.Timeline))
+	}
+	if *metrics {
+		reg := obs.NewRegistry()
+		reg.Counter("faultsim.jobs_completed").Add(int64(res.JobsCompleted))
+		reg.Counter("faultsim.faults_observed").Add(int64(res.FaultsObserved))
+		reg.Counter("faultsim.probes_launched").Add(int64(res.ProbesLaunched))
+		reg.Counter("faultsim.audit_events").Add(int64(len(res.Timeline)))
+		for _, e := range res.Timeline {
+			reg.Counter("faultsim.audit." + e.Kind.String()).Inc()
+		}
+		fmt.Printf("\nmetrics:\n%s", reg.RenderText())
+	}
+}
+
+// auditTracer converts the run's audit trail into instant spans, one
+// trace row per event kind, so the convergence shows up as vertical
+// streaks in Perfetto (ts is the simulator tick).
+func auditTracer(events []analyze.AuditEvent) *obs.Tracer {
+	tr := obs.NewTracer(len(events))
+	for _, e := range events {
+		attrs := make([]obs.Attr, 0, 3)
+		attrs = append(attrs, obs.A("nodes", joinNodes(e.Nodes)))
+		if len(e.Removed) > 0 {
+			attrs = append(attrs, obs.A("exonerated", joinNodes(e.Removed)))
+		}
+		if e.Detail != "" {
+			attrs = append(attrs, obs.A("detail", e.Detail))
+		}
+		tr.Record("suspicion", e.Kind.String(), e.Kind.String(), e.T, e.T, attrs...)
+	}
+	return tr
+}
+
+func joinNodes(ids []cluster.NodeID) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = string(id)
+	}
+	return strings.Join(parts, ",")
 }

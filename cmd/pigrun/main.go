@@ -5,6 +5,11 @@
 // Usage:
 //
 //	pigrun -script q.pig -input data/edges=edges.tsv [-nodes 8] [-slots 3] [-show 20]
+//	       [--trace=run.json] [--metrics]
+//
+// --trace writes a Chrome trace_event JSON timeline (loadable in
+// chrome://tracing or Perfetto) plus a deterministic JSONL twin;
+// --metrics prints the full metrics registry after the run.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"clusterbft/internal/cluster"
 	"clusterbft/internal/dfs"
 	"clusterbft/internal/mapred"
+	"clusterbft/internal/obs"
 	"clusterbft/internal/pig"
 )
 
@@ -41,6 +47,8 @@ func run() error {
 	reduces := flag.Int("reduces", 2, "reduce parallelism")
 	show := flag.Int("show", 20, "output records to print per store")
 	explain := flag.Bool("explain", false, "print the logical plan and compiled jobs, then exit")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline here (a .jsonl twin is written next to it)")
+	metrics := flag.Bool("metrics", false, "print the metrics registry after the run")
 	flag.Parse()
 
 	if *script == "" {
@@ -98,6 +106,17 @@ func run() error {
 	}
 
 	eng := mapred.NewEngine(fs, cluster.New(*nodes, *slots), nil, mapred.DefaultCostModel())
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		eng.InstrumentMetrics(reg)
+	}
+	var tracer *obs.Tracer
+	if *traceFile != "" {
+		tracer = obs.NewTracer(0)
+		tracer.EnableWallClock(obs.WallUnixMicros)
+		eng.Trace = tracer
+	}
 	states := make([]*mapred.JobState, 0, len(jobs))
 	for _, j := range jobs {
 		js, err := eng.Submit(j)
@@ -119,6 +138,18 @@ func run() error {
 	}
 	fmt.Printf("latency: %.2fs (virtual)   cpu: %.2fs   jobs: %d\n",
 		float64(makespan)/1e6, float64(eng.Metrics.CPUTimeUs)/1e6, eng.Metrics.JobsCompleted)
+
+	if tracer != nil {
+		twin, err := obs.WriteTraceFiles(tracer, *traceFile)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace: %s (chrome://tracing, Perfetto)  jsonl: %s  spans: %d  dropped: %d\n",
+			*traceFile, twin, tracer.Len(), tracer.Dropped())
+	}
+	if reg != nil {
+		fmt.Printf("\nmetrics:\n%s", reg.RenderText())
+	}
 
 	for _, st := range plan.Stores() {
 		lines, err := fs.ReadTree(st.Path)

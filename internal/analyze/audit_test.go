@@ -1,0 +1,91 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"clusterbft/internal/cluster"
+)
+
+func ids(ss ...string) []cluster.NodeID {
+	out := make([]cluster.NodeID, len(ss))
+	for i, s := range ss {
+		out[i] = cluster.NodeID(s)
+	}
+	return out
+}
+
+func TestAuditTrailRecordsWithClock(t *testing.T) {
+	now := int64(0)
+	a := NewAuditTrail(func() int64 { return now })
+	now = 10
+	a.Add(AuditMismatch, ids("n2"), "digest deviated at point 3")
+	now = 20
+	a.AddRemoved(AuditIntersect, ids("n2"), ids("n1", "n3"), "evidence {n1 n2 n3} ∩ {n2 n4}")
+	ev := a.Events()
+	if len(ev) != 2 {
+		t.Fatalf("events = %d, want 2", len(ev))
+	}
+	if ev[0].T != 10 || ev[0].Kind != AuditMismatch {
+		t.Errorf("event 0 = %+v", ev[0])
+	}
+	if ev[1].T != 20 || len(ev[1].Removed) != 2 {
+		t.Errorf("event 1 = %+v", ev[1])
+	}
+}
+
+func TestAuditTrailNilSafe(t *testing.T) {
+	var a *AuditTrail
+	a.Add(AuditMismatch, ids("n1"), "x")
+	a.AddRemoved(AuditIntersect, nil, nil, "")
+	if a.Len() != 0 || a.Events() != nil || a.Dropped() != 0 || a.Render(0) != "" {
+		t.Error("nil trail must be inert")
+	}
+}
+
+func TestAuditTrailBounded(t *testing.T) {
+	a := NewAuditTrail(nil)
+	a.max = 3
+	for i := 0; i < 5; i++ {
+		a.Add(AuditScore, nil, string(rune('a'+i)))
+	}
+	ev := a.Events()
+	if len(ev) != 3 || a.Dropped() != 2 {
+		t.Fatalf("len = %d dropped = %d, want 3/2", len(ev), a.Dropped())
+	}
+	if ev[0].Detail != "c" || ev[2].Detail != "e" {
+		t.Errorf("retained window = %v..%v, want c..e", ev[0].Detail, ev[2].Detail)
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	a := NewAuditTrail(nil)
+	a.Add(AuditMismatch, ids("n2"), "point 3")
+	a.AddRemoved(AuditIntersect, ids("n2"), ids("n1"), "")
+	a.Add(AuditConviction, ids("n2"), "singleton in D")
+	out := a.Render(0)
+	for _, want := range []string{"mismatch", "intersect", "exonerated=[n1]", "conviction", "(point 3)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// Elision header when capped below the event count.
+	capped := a.Render(1)
+	if !strings.Contains(capped, "2 earlier events elided") {
+		t.Errorf("capped timeline missing elision header:\n%s", capped)
+	}
+	if !strings.Contains(capped, "conviction") || strings.Contains(capped, "mismatch") {
+		t.Errorf("capped timeline must keep only the most recent events:\n%s", capped)
+	}
+}
+
+func TestSortedIDs(t *testing.T) {
+	in := ids("n3", "n1", "n2")
+	got := SortedIDs(in)
+	if got[0] != "n1" || got[1] != "n2" || got[2] != "n3" {
+		t.Errorf("SortedIDs = %v", got)
+	}
+	if in[0] != "n3" {
+		t.Error("SortedIDs must not mutate its input")
+	}
+}

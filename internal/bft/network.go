@@ -2,6 +2,8 @@ package bft
 
 import (
 	"container/heap"
+
+	"clusterbft/internal/obs"
 )
 
 // Handler consumes messages delivered by the network.
@@ -75,6 +77,17 @@ func (n *Network) Now() int64 { return n.now }
 
 // Delivered returns the number of messages delivered so far.
 func (n *Network) Delivered() int64 { return n.delivered }
+
+// Instrument registers live views of the bus into reg: delivered message
+// count, registered replica count, and the current virtual time.
+func (n *Network) Instrument(reg *obs.Registry) {
+	if n == nil || reg == nil {
+		return
+	}
+	reg.Func("bft.messages_delivered", n.Delivered)
+	reg.Func("bft.replicas", func() int64 { return int64(len(n.nodes)) })
+	reg.Func("bft.virtual_time_us", n.Now)
+}
 
 // Send schedules msg for delivery from -> to.
 func (n *Network) Send(from, to ID, msg Message) {

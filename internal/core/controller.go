@@ -8,6 +8,7 @@ import (
 	"clusterbft/internal/cluster"
 	"clusterbft/internal/digest"
 	"clusterbft/internal/mapred"
+	"clusterbft/internal/obs"
 	"clusterbft/internal/pig"
 )
 
@@ -123,19 +124,20 @@ type clusterState struct {
 	upstream []int
 	terminal bool
 
-	attempt    int
-	totalTries int
-	r          int
-	timeoutUs  int64
-	sid        string
-	launched   bool
-	verified   bool
-	failed     bool
-	verifiedAt int64
-	winner     int
-	winnerFP   digest.Sum
-	sources    map[int]sourceRef
-	replicas   []*repState
+	attempt     int
+	totalTries  int
+	r           int
+	timeoutUs   int64
+	sid         string
+	launchedAtV int64
+	launched    bool
+	verified    bool
+	failed      bool
+	verifiedAt  int64
+	winner      int
+	winnerFP    digest.Sum
+	sources     map[int]sourceRef
+	replicas    []*repState
 }
 
 // Controller is the trusted control tier: request handler + verifier +
@@ -151,6 +153,7 @@ type Controller struct {
 	matcher *Matcher
 	runSeq  int
 	reports int64
+	audit   *analyze.AuditTrail
 
 	// run-scoped state
 	clusterOf  map[string]int // template job ID -> cluster
@@ -184,6 +187,16 @@ func NewController(eng *mapred.Engine, cfg Config, susp *SuspicionTable, fa *Fau
 	eng.DigestSink = c.onDigest
 	eng.OnJobDone = c.onJobDone
 	return c
+}
+
+// AttachAudit routes the suspicion audit trail through the pipeline:
+// digest-mismatch evidence from the verifier, category transitions from
+// the suspicion table, and every intersection step of the fault analyzer
+// land in trail with the evidence that caused them. Nil detaches.
+func (c *Controller) AttachAudit(trail *analyze.AuditTrail) {
+	c.audit = trail
+	c.Susp.Audit = trail
+	c.FA.Audit = trail
 }
 
 // Run executes one script under BFT protection and blocks until the
@@ -421,6 +434,7 @@ func (c *Controller) tryLaunch(cs *clusterState) {
 		return
 	}
 	cs.launched = true
+	cs.launchedAtV = c.Eng.Now()
 	cs.totalTries++
 	c.attempts++
 	cs.sid = fmt.Sprintf("run%d-c%d-a%d", c.runSeq, cs.id, cs.attempt)
@@ -575,6 +589,8 @@ func (c *Controller) checkVerify(cs *clusterState) {
 	cs.verifiedAt = c.Eng.Now()
 	cs.winner = majority[0]
 	cs.winnerFP = c.matcher.Fingerprint(cs.sid, cs.winner)
+	c.Eng.Trace.Record("verify", "verifier", cs.sid, cs.launchedAtV, cs.verifiedAt,
+		obs.AI("winner", int64(cs.winner)), obs.AI("deviants", int64(len(deviants))))
 	for _, rep := range deviants {
 		c.markFaulty(cs, cs.replicas[rep])
 	}
@@ -631,7 +647,12 @@ func (c *Controller) markFaulty(cs *clusterState, rs *repState) {
 	rs.faulty = true
 	c.faultyReps++
 	nodes := c.liveNodes(rs)
-	c.Susp.RecordFault(nodes.Sorted())
+	sorted := nodes.Sorted()
+	c.audit.Add(analyze.AuditMismatch, sorted,
+		fmt.Sprintf("replica %d of %s deviated from the f+1 majority", rs.idx, cs.sid))
+	c.Eng.Trace.Instant("suspicion", "verifier", "fault "+cs.sid, c.Eng.Now(),
+		obs.AI("replica", int64(rs.idx)), obs.AI("nodes", int64(len(sorted))))
+	c.Susp.RecordFault(sorted)
 	c.FA.Report(nodes)
 }
 
@@ -654,7 +675,10 @@ func (c *Controller) retry(cs *clusterState, omission bool) {
 				continue
 			}
 			if nodes := c.liveNodes(rs); len(nodes) > 0 {
-				c.Susp.RecordFault(nodes.Sorted())
+				sorted := nodes.Sorted()
+				c.audit.Add(analyze.AuditMismatch, sorted,
+					fmt.Sprintf("replica %d of %s timed out (omission)", rs.idx, cs.sid))
+				c.Susp.RecordFault(sorted)
 			}
 		}
 	}

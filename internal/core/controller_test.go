@@ -10,6 +10,7 @@ import (
 	"clusterbft/internal/cluster"
 	"clusterbft/internal/dfs"
 	"clusterbft/internal/mapred"
+	"clusterbft/internal/obs"
 )
 
 const weatherScript = `
@@ -410,5 +411,80 @@ func TestOverlapSchedulerLocalityTiebreak(t *testing.T) {
 	got := s.Pick(node, []*mapred.Task{remote, local})
 	if got != local {
 		t.Error("equal-overlap tie should break by locality")
+	}
+}
+
+// TestControllerAuditTrailAndSpans runs the commission-fault scenario
+// with the full observability stack attached: the audit trail (via
+// AttachAudit, stamped by the engine clock) must record the digest
+// mismatches naming the faulty replica's cluster and the suspicion
+// score changes they cause, and the tracer must carry verification
+// spans plus suspicion instants alongside the engine's task spans.
+func TestControllerAuditTrailAndSpans(t *testing.T) {
+	h := newHarness(t, 16, 3, DefaultConfig()) // r=4, f=1
+	if err := h.cl.SetAdversary("node-003", cluster.FaultCommission, 1.0, 11); err != nil {
+		t.Fatal(err)
+	}
+	trail := analyze.NewAuditTrail(h.eng.Now)
+	h.ctrl.AttachAudit(trail)
+	tracer := obs.NewTracer(0)
+	h.eng.Trace = tracer
+
+	res, err := h.ctrl.Run(weatherScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified || res.FaultyReplicas == 0 {
+		t.Fatalf("scenario did not detect the fault: %+v", res)
+	}
+
+	var mismatches, scores int
+	for _, e := range trail.Events() {
+		switch e.Kind {
+		case analyze.AuditMismatch:
+			mismatches++
+			found := false
+			for _, n := range e.Nodes {
+				if n == "node-003" {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("mismatch event does not name the faulty node: %+v", e)
+			}
+			if e.T <= 0 {
+				t.Errorf("mismatch not stamped with engine time: %+v", e)
+			}
+		case analyze.AuditScore:
+			scores++
+		}
+	}
+	if mismatches == 0 {
+		t.Error("no mismatch events in the audit trail")
+	}
+	if scores == 0 {
+		t.Error("no suspicion-score events in the audit trail")
+	}
+	if out := analyze.RenderTimeline(trail.Events(), 0); !strings.Contains(out, "mismatch") {
+		t.Errorf("rendered trail missing mismatch lines:\n%s", out)
+	}
+
+	var verifySpans, suspicionSpans, taskSpans int
+	for _, s := range tracer.Spans() {
+		switch s.Cat {
+		case "verify":
+			verifySpans++
+			if s.VEnd < s.VStart {
+				t.Errorf("verify span ends before it starts: %+v", s)
+			}
+		case "suspicion":
+			suspicionSpans++
+		case "task":
+			taskSpans++
+		}
+	}
+	if verifySpans == 0 || suspicionSpans == 0 || taskSpans == 0 {
+		t.Errorf("span mix verify=%d suspicion=%d task=%d, want all > 0",
+			verifySpans, suspicionSpans, taskSpans)
 	}
 }

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
+	"clusterbft/internal/analyze"
 	"clusterbft/internal/cluster"
 )
 
@@ -86,6 +88,14 @@ type FaultAnalyzer struct {
 	o []NodeSet
 	// reports counts faulty sets analyzed, the x-axis of Fig 11.
 	reports int
+
+	// Audit, when set, receives one event per reasoning step (set added
+	// to D, refinement, intersection with exonerated nodes, saturation,
+	// conviction). Nil disables logging.
+	Audit *analyze.AuditTrail
+
+	saturatedLogged bool
+	convicted       map[cluster.NodeID]bool
 }
 
 // NewFaultAnalyzer builds an analyzer expecting up to f simultaneous
@@ -134,16 +144,61 @@ func (fa *FaultAnalyzer) Report(s NodeSet) {
 	switch {
 	case fa.disjointFromAllD(s):
 		fa.d = append(fa.d, s) // lines 4-5
+		fa.Audit.Add(analyze.AuditNewDisjoint, s.Sorted(),
+			fmt.Sprintf("report #%d disjoint from D, |D|=%d", fa.reports, len(fa.d)))
+		fa.noteSet(len(fa.d) - 1)
 	case fa.strictSupersetInD(s) >= 0:
 		// Lines 6-9: S refines a coarser suspicion set Y: Y moves to the
 		// overlapping evidence, S replaces it.
 		i := fa.strictSupersetInD(s)
+		fa.Audit.AddRemoved(analyze.AuditRefine, s.Sorted(), diffSorted(fa.d[i], s),
+			fmt.Sprintf("report #%d is a strict subset of D[%d]", fa.reports, i))
 		fa.o = append(fa.o, fa.d[i])
 		fa.d[i] = s
+		fa.noteSet(i)
 	default:
 		fa.o = append(fa.o, s) // line 11
+		fa.Audit.Add(analyze.AuditOverlap, s.Sorted(),
+			fmt.Sprintf("report #%d overlaps D, kept as evidence, |O|=%d", fa.reports, len(fa.o)))
+	}
+	if !fa.saturatedLogged && fa.Saturated() {
+		fa.saturatedLogged = true
+		fa.Audit.Add(analyze.AuditSaturated, fa.Suspects(),
+			fmt.Sprintf("|D| reached f=%d after %d reports", fa.f, fa.reports))
 	}
 	fa.refine()
+}
+
+// noteSet records a conviction when D[i] has narrowed to a single node.
+func (fa *FaultAnalyzer) noteSet(i int) {
+	if len(fa.d[i]) != 1 {
+		return
+	}
+	var n cluster.NodeID
+	for m := range fa.d[i] {
+		n = m
+	}
+	if fa.convicted[n] {
+		return
+	}
+	if fa.convicted == nil {
+		fa.convicted = make(map[cluster.NodeID]bool)
+	}
+	fa.convicted[n] = true
+	fa.Audit.Add(analyze.AuditConviction, []cluster.NodeID{n},
+		fmt.Sprintf("D[%d] narrowed to a single node after %d reports", i, fa.reports))
+}
+
+// diffSorted returns the members of a not in b, sorted.
+func diffSorted(a, b NodeSet) []cluster.NodeID {
+	var out []cluster.NodeID
+	for n := range a {
+		if !b[n] {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 func (fa *FaultAnalyzer) disjointFromAllD(s NodeSet) bool {
@@ -192,8 +247,11 @@ func (fa *FaultAnalyzer) refine() {
 			}
 			inter := fa.d[hit].Intersect(y)
 			if len(inter) > 0 && len(inter) < len(fa.d[hit]) {
+				fa.Audit.AddRemoved(analyze.AuditIntersect, inter.Sorted(), diffSorted(fa.d[hit], inter),
+					fmt.Sprintf("D[%d] ∩ overlapping evidence %v", hit, y.Sorted()))
 				fa.d[hit] = inter
 				changed = true
+				fa.noteSet(hit)
 			}
 		}
 	}

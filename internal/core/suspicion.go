@@ -7,9 +7,11 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
+	"clusterbft/internal/analyze"
 	"clusterbft/internal/cluster"
 )
 
@@ -70,6 +72,11 @@ type SuspicionTable struct {
 	threshold float64
 	stats     map[cluster.NodeID]*nodeStats
 	excluded  map[cluster.NodeID]bool
+
+	// Audit, when set, receives a score event whenever a node's
+	// suspicion level crosses into a different category. Nil disables
+	// logging.
+	Audit *analyze.AuditTrail
 }
 
 // NewSuspicionTable builds an empty table with the given eviction
@@ -96,7 +103,9 @@ func (t *SuspicionTable) RecordJob(nodes []cluster.NodeID) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, n := range nodes {
+		before := Categorize(t.level(n))
 		t.get(n).jobs++
+		t.auditScore(n, before)
 	}
 }
 
@@ -106,12 +115,33 @@ func (t *SuspicionTable) RecordFault(nodes []cluster.NodeID) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, n := range nodes {
+		before := Categorize(t.level(n))
 		s := t.get(n)
 		s.faults++
 		if t.threshold > 0 && t.level(n) > t.threshold {
 			t.excluded[n] = true
 		}
+		t.auditScore(n, before)
 	}
+}
+
+// auditScore logs a score event if n's suspicion category changed from
+// before. Called with the lock held.
+func (t *SuspicionTable) auditScore(n cluster.NodeID, before Category) {
+	if t.Audit == nil {
+		return
+	}
+	after := Categorize(t.level(n))
+	if after == before {
+		return
+	}
+	s := t.stats[n]
+	detail := fmt.Sprintf("s=%.2f (%d faults / %d jobs) %s→%s",
+		t.level(n), s.faults, s.jobs, before, after)
+	if t.excluded[n] {
+		detail += ", excluded from scheduling"
+	}
+	t.Audit.Add(analyze.AuditScore, []cluster.NodeID{n}, detail)
 }
 
 // level computes s with the lock held.

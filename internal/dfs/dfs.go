@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"clusterbft/internal/obs"
 )
 
 // FS is a concurrency-safe in-memory file system. The zero value is not
@@ -213,6 +215,20 @@ func (fs *FS) ReadTree(prefix string) ([]string, error) {
 // BytesWritten returns the cumulative bytes written since construction
 // (or the last ResetCounters).
 func (fs *FS) BytesWritten() int64 { return fs.bytesWritten.Load() }
+
+// Instrument registers live views of the I/O counters into reg.
+func (fs *FS) Instrument(reg *obs.Registry) {
+	if fs == nil || reg == nil {
+		return
+	}
+	reg.Func("dfs.bytes_written", fs.BytesWritten)
+	reg.Func("dfs.bytes_read", fs.BytesRead)
+	reg.Func("dfs.files", func() int64 {
+		fs.mu.RLock()
+		defer fs.mu.RUnlock()
+		return int64(len(fs.files))
+	})
+}
 
 // BytesRead returns the cumulative bytes read since construction (or the
 // last ResetCounters).

@@ -3,6 +3,7 @@ package digest
 import (
 	"testing"
 
+	"clusterbft/internal/obs"
 	"clusterbft/internal/tuple"
 )
 
@@ -19,5 +20,23 @@ func TestWriterAddAllocs(t *testing.T) {
 	})
 	if got != 0 {
 		t.Errorf("Writer.Add allocs/record = %v, want 0", got)
+	}
+}
+
+// TestWriterAddObsAllocs pins that the observability hook keeps Add
+// allocation-free in both states: counter absent (nil, the default) and
+// counter attached (an atomic add).
+func TestWriterAddObsAllocs(t *testing.T) {
+	row := tuple.Tuple{tuple.Int(7), tuple.Str("some-payload-column"), tuple.Float(2.5)}
+	for _, withCounter := range []bool{false, true} {
+		w := NewWriter(Key{SID: "s", Point: 1, Task: "m0"}, 0, 0, func(Report) {})
+		if withCounter {
+			w.Obs = obs.NewRegistry().Counter("digest.records")
+		}
+		w.Add(row) // warm the canonical buffer
+		got := testing.AllocsPerRun(200, func() { w.Add(row) })
+		if got != 0 {
+			t.Errorf("Writer.Add allocs/record (counter=%v) = %v, want 0", withCounter, got)
+		}
 	}
 }

@@ -65,6 +65,13 @@ func Paper() Scale {
 	}
 }
 
+// Observe, when non-nil, is applied to every engine a rig constructs.
+// cmd/experiments sets it to attach a shared tracer and metrics registry
+// without threading observability through each figure's signature; the
+// registry's register-or-get semantics make the sequential rigs
+// accumulate into the same counters.
+var Observe func(*mapred.Engine)
+
 // rig is one disposable measurement setup: fresh storage, cluster and
 // engine over a seeded dataset.
 type rig struct {
@@ -78,6 +85,9 @@ func newRig(sc Scale, path string, lines []string) *rig {
 	fs.Append(path, lines...)
 	cl := cluster.New(sc.Nodes, sc.Slots)
 	eng := mapred.NewEngine(fs, cl, nil, expCostModel())
+	if Observe != nil {
+		Observe(eng)
+	}
 	return &rig{fs: fs, cl: cl, eng: eng}
 }
 

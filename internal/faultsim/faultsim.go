@@ -11,6 +11,7 @@ package faultsim
 import (
 	"math/rand"
 
+	"clusterbft/internal/analyze"
 	"clusterbft/internal/cluster"
 	"clusterbft/internal/core"
 )
@@ -135,6 +136,16 @@ type Result struct {
 	TimeToExactIsolation int
 	// ProbesLaunched counts §3.3 dummy probe jobs.
 	ProbesLaunched int
+	// Timeline is the suspicion audit trail of the run: every digest
+	// mismatch, intersection step, and suspicion-score change, stamped
+	// with the simulator tick it happened at.
+	Timeline []analyze.AuditEvent
+}
+
+// RenderTimeline formats the run's convergence timeline, one event per
+// line (see analyze.RenderTimeline); max <= 0 renders everything.
+func (r *Result) RenderTimeline(max int) string {
+	return analyze.RenderTimeline(r.Timeline, max)
 }
 
 type job struct {
@@ -156,8 +167,12 @@ func Run(cfg Config) *Result {
 		faulty[rng.Intn(cfg.Nodes)] = true
 	}
 
+	now := 0
+	trail := analyze.NewAuditTrail(func() int64 { return int64(now) })
 	fa := core.NewFaultAnalyzer(cfg.F)
+	fa.Audit = trail
 	susp := core.NewSuspicionTable(0)
+	susp.Audit = trail
 	res := &Result{JobsAtSaturation: -1, TimeAtSaturation: -1, TimeToExactIsolation: -1}
 	for n := range faulty {
 		res.TrueFaulty = append(res.TrueFaulty, nodeID(n))
@@ -166,7 +181,7 @@ func Run(cfg Config) *Result {
 
 	var running []*job
 	offset := 0
-	for now := 0; now < cfg.MaxTime; now++ {
+	for ; now < cfg.MaxTime; now++ {
 		// Complete due jobs.
 		keep := running[:0]
 		for _, j := range running {
@@ -230,6 +245,7 @@ func Run(cfg Config) *Result {
 
 	res.Suspects = fa.Suspects()
 	res.Isolated = isolated(res.Suspects, faulty)
+	res.Timeline = trail.Events()
 	return res
 }
 
@@ -241,6 +257,8 @@ func Run(cfg Config) *Result {
 // point").
 func reportFault(fa *core.FaultAnalyzer, susp *core.SuspicionTable, rep core.NodeSet) {
 	wasSaturated := fa.Saturated()
+	fa.Audit.Add(analyze.AuditMismatch, rep.Sorted(),
+		"job cluster returned a commission fault")
 	fa.Report(rep)
 	if wasSaturated {
 		hits := 0

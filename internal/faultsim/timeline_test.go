@@ -1,0 +1,80 @@
+package faultsim
+
+import (
+	"strings"
+	"testing"
+
+	"clusterbft/internal/analyze"
+)
+
+// TestTimelineShowsConvergence pins the shape of the suspicion audit
+// trail on a run that fully isolates the faulty node: raw mismatch
+// evidence first, then the analyzer's intersection steps (with
+// exonerated nodes), ending in a conviction — with monotone virtual
+// timestamps throughout.
+func TestTimelineShowsConvergence(t *testing.T) {
+	r := Run(Config{CommissionProb: 0.8, Seed: 3, MaxTime: 400})
+	if !r.Isolated {
+		t.Fatal("expected this seeded run to isolate the faulty node")
+	}
+	if len(r.Timeline) == 0 {
+		t.Fatal("timeline is empty")
+	}
+
+	first := map[analyze.AuditKind]int{}
+	var exonerations, prevT int
+	for i, e := range r.Timeline {
+		if _, ok := first[e.Kind]; !ok {
+			first[e.Kind] = i
+		}
+		if e.Kind == analyze.AuditIntersect {
+			if len(e.Removed) == 0 {
+				t.Errorf("intersect event %d removed no nodes: %+v", i, e)
+			}
+			exonerations += len(e.Removed)
+		}
+		if int(e.T) < prevT {
+			t.Fatalf("timestamps not monotone at event %d: %d < %d", i, e.T, prevT)
+		}
+		prevT = int(e.T)
+	}
+	mi, ok := first[analyze.AuditMismatch]
+	if !ok {
+		t.Fatal("no mismatch events")
+	}
+	ii, ok := first[analyze.AuditIntersect]
+	if !ok {
+		t.Fatal("no intersection events: the analyzer never refined")
+	}
+	ci, ok := first[analyze.AuditConviction]
+	if !ok {
+		t.Fatal("no conviction: D never narrowed to a single node")
+	}
+	if !(mi < ii && ii <= ci) {
+		t.Errorf("order mismatch(%d) -> intersect(%d) -> conviction(%d) violated", mi, ii, ci)
+	}
+	if exonerations == 0 {
+		t.Error("no nodes were exonerated on the way to isolation")
+	}
+
+	out := r.RenderTimeline(0)
+	for _, want := range []string{"mismatch", "new-suspect-set", "intersect", "exonerated=", "conviction", "t="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered timeline missing %q", want)
+		}
+	}
+	// The convicted node is the true faulty one.
+	conv := r.Timeline[ci]
+	if len(conv.Nodes) != 1 || len(r.TrueFaulty) != 1 || conv.Nodes[0] != r.TrueFaulty[0] {
+		t.Errorf("conviction %v does not match true faulty %v", conv.Nodes, r.TrueFaulty)
+	}
+}
+
+// TestTimelineDeterministic: same seed, same timeline.
+func TestTimelineDeterministic(t *testing.T) {
+	a := Run(Config{CommissionProb: 0.7, Seed: 42, MaxTime: 120})
+	b := Run(Config{CommissionProb: 0.7, Seed: 42, MaxTime: 120})
+	if a.RenderTimeline(0) != b.RenderTimeline(0) {
+		t.Error("timeline differs across identically-seeded runs")
+	}
+}

@@ -3,6 +3,7 @@ package mapred
 import (
 	"testing"
 
+	"clusterbft/internal/obs"
 	"clusterbft/internal/tuple"
 )
 
@@ -29,6 +30,53 @@ func TestSampleKeepHashAllocs(t *testing.T) {
 	})
 	if got != 0 {
 		t.Errorf("sample path allocs/record = %v, want 0", got)
+	}
+}
+
+// TestMapInnerLoopObsAllocs pins the disabled-observability contract on
+// the map-task inner loop: running a split with the zero taskObs (nil
+// counters, the default when no registry is attached) allocates exactly
+// as much as running it with live counters — the hook itself costs no
+// allocations either way, so per-task allocation counts stay governed by
+// the data plane alone.
+func TestMapInnerLoopObsAllocs(t *testing.T) {
+	jobs, err := compileHelper(followerSrc, CompileOptions{NumReduces: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := jobs[0]
+	lines := make([]string, 512)
+	for i := range lines {
+		lines[i] = "12\t34"
+	}
+	measure := func(o taskObs) float64 {
+		return testing.AllocsPerRun(20, func() {
+			_ = runMapTask(job, 0, lines, nil, nil, o)
+		})
+	}
+	disabled := measure(taskObs{})
+	r := obs.NewRegistry()
+	enabled := measure(taskObs{
+		mapRecords:     r.Counter("m"),
+		shuffleRecords: r.Counter("s"),
+		outRecords:     r.Counter("o"),
+	})
+	if disabled != enabled {
+		t.Errorf("map inner-loop allocs: disabled=%v enabled=%v, want equal", disabled, enabled)
+	}
+}
+
+// TestPartitionOfObsAllocs re-pins partitionOf now that the shuffle path
+// runs under optional counters: the hot function itself takes no hook,
+// and a surrounding nil counter touch stays free.
+func TestPartitionOfObsAllocs(t *testing.T) {
+	var c *obs.Counter
+	got := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		_ = partitionOf("1234\tsome-key", 16)
+	})
+	if got != 0 {
+		t.Errorf("partitionOf+nil-counter allocs/record = %v, want 0", got)
 	}
 }
 

@@ -61,7 +61,7 @@ func benchShuffleRecords(b *testing.B, job *JobSpec, inputs map[int][]string) []
 	b.Helper()
 	var records []interRec
 	for idx := range job.Inputs {
-		out := runMapTask(job, idx, inputs[idx], nil, nil)
+		out := runMapTask(job, idx, inputs[idx], nil, nil, taskObs{})
 		for _, part := range out.partitions {
 			records = append(records, part...)
 		}
@@ -162,7 +162,7 @@ func BenchmarkDataplaneMapTaskShuffle(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = runMapTask(job, 0, lines, nil, nil)
+		_ = runMapTask(job, 0, lines, nil, nil, taskObs{})
 	}
 	b.ReportMetric(benchBatch, "records/op")
 }
@@ -180,7 +180,7 @@ STORE p INTO 'out/prod';
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = runMapTask(job, 0, lines, nil, nil)
+		_ = runMapTask(job, 0, lines, nil, nil, taskObs{})
 	}
 	b.ReportMetric(benchBatch, "records/op")
 }
@@ -193,7 +193,7 @@ func BenchmarkDataplaneReduceAggregate(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		copy(scratch, records)
-		if _, err := runReduceTask(job.Reduce, scratch, nil); err != nil {
+		if _, err := runReduceTask(job.Reduce, scratch, nil, taskObs{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -216,7 +216,7 @@ STORE j INTO 'out/joined';
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		copy(scratch, records)
-		if _, err := runReduceTask(job.Reduce, scratch, nil); err != nil {
+		if _, err := runReduceTask(job.Reduce, scratch, nil, taskObs{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -235,7 +235,7 @@ STORE d INTO 'out/distinct';
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		copy(scratch, records)
-		if _, err := runReduceTask(job.Reduce, scratch, nil); err != nil {
+		if _, err := runReduceTask(job.Reduce, scratch, nil, taskObs{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -254,7 +254,7 @@ STORE o INTO 'out/sorted';
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		copy(scratch, records)
-		if _, err := runReduceTask(job.Reduce, scratch, nil); err != nil {
+		if _, err := runReduceTask(job.Reduce, scratch, nil, taskObs{}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,6 +10,7 @@ import (
 	"clusterbft/internal/cluster"
 	"clusterbft/internal/dfs"
 	"clusterbft/internal/digest"
+	"clusterbft/internal/obs"
 	"clusterbft/internal/pool"
 )
 
@@ -89,14 +90,18 @@ type JobState struct {
 	committed  map[string]bool           // task IDs whose result committed
 	maxDur     map[TaskKind]int64        // longest committed duration per kind
 	speculated map[string]bool           // task IDs with a backup launched
+
+	runnableTime int64 // when the job's map tasks entered the ready queue
+	mapsDoneTime int64 // when the last map task committed
 }
 
 type runningTask struct {
-	task  *Task
-	node  cluster.NodeID
-	start int64
-	hung  bool
-	dead  bool
+	task      *Task
+	node      cluster.NodeID
+	start     int64
+	wallStart int64 // wall-clock dispatch time; 0 unless tracing with a wall clock
+	hung      bool
+	dead      bool
 }
 
 // Latency returns the job's virtual makespan; valid once Done.
@@ -142,6 +147,11 @@ type Engine struct {
 	// Changing it after the first task dispatched has no effect.
 	Workers int
 
+	// Trace, when set, records job, stage, and task spans onto the
+	// virtual timeline. Nil (the default) disables tracing; the
+	// instrumentation is nil-safe and allocation-free when disabled.
+	Trace *obs.Tracer
+
 	// DigestChunk is the paper's d: records per digest chunk (§6.4);
 	// <= 0 means one digest per task stream.
 	DigestChunk int
@@ -174,6 +184,15 @@ type Engine struct {
 
 	workers *pool.Pool
 	pending []pendingBody
+
+	// Registry-backed instruments, set by InstrumentMetrics; all nil (and
+	// therefore free) when no registry is attached.
+	obsReg          *obs.Registry
+	obsTask         taskObs
+	obsCPUCommitted *obs.Counter   // CPU of attempts whose result committed
+	obsCPULost      *obs.Counter   // CPU of hung, raced, and killed attempts
+	obsTaskDur      *obs.Histogram // committed task durations
+	obsDigestRecs   *obs.Counter   // records folded into digest writers
 }
 
 // pendingBody is a task body dispatched to the worker pool but not yet
@@ -217,6 +236,50 @@ func NewEngine(fs *dfs.FS, cl *cluster.Cluster, sched Scheduler, cost CostModel)
 		e.freeSlots[n.ID] = n.Slots
 	}
 	return e
+}
+
+// InstrumentMetrics registers the engine into reg. Every Metrics field
+// gets a live Func view under mapred.metrics.* — the struct stays the
+// canonical Table 3 snapshot (golden fixtures pin its %+v), the registry
+// is the uniform read path. On top of the compatibility view come
+// instruments the struct deliberately does not carry: the committed/lost
+// CPU split (CPUTimeUs itself includes losing attempts, a pinned
+// semantic), a committed-task duration histogram, data-plane record
+// counters threaded into task bodies, digest record counts, and the
+// engine's DFS counters.
+func (e *Engine) InstrumentMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	e.obsReg = reg
+	m := &e.Metrics
+	reg.Func("mapred.metrics.cpu_time_us", func() int64 { return m.CPUTimeUs })
+	reg.Func("mapred.metrics.hdfs_bytes_read", func() int64 { return m.HDFSBytesRead })
+	reg.Func("mapred.metrics.hdfs_bytes_written", func() int64 { return m.HDFSBytesWritten })
+	reg.Func("mapred.metrics.local_bytes_read", func() int64 { return m.LocalBytesRead })
+	reg.Func("mapred.metrics.local_bytes_written", func() int64 { return m.LocalBytesWritten })
+	reg.Func("mapred.metrics.map_tasks", func() int64 { return m.MapTasks })
+	reg.Func("mapred.metrics.reduce_tasks", func() int64 { return m.ReduceTasks })
+	reg.Func("mapred.metrics.records_in", func() int64 { return m.RecordsIn })
+	reg.Func("mapred.metrics.records_out", func() int64 { return m.RecordsOut })
+	reg.Func("mapred.metrics.digest_records", func() int64 { return m.DigestRecords })
+	reg.Func("mapred.metrics.jobs_completed", func() int64 { return m.JobsCompleted })
+	reg.Func("mapred.metrics.tasks_hung", func() int64 { return m.TasksHung })
+	reg.Func("mapred.metrics.speculative_tasks", func() int64 { return m.SpeculativeTasks })
+	e.obsCPUCommitted = reg.Counter("mapred.cpu_committed_us")
+	e.obsCPULost = reg.Counter("mapred.cpu_lost_us")
+	e.obsTaskDur = reg.Histogram("mapred.task_duration_us", obs.DurationBucketsUs)
+	e.obsDigestRecs = reg.Counter("digest.records")
+	e.obsTask = taskObs{
+		mapRecords:     reg.Counter("mapred.task.map_records"),
+		reduceRecords:  reg.Counter("mapred.task.reduce_records"),
+		shuffleRecords: reg.Counter("mapred.task.shuffle_records"),
+		outRecords:     reg.Counter("mapred.task.out_records"),
+	}
+	e.FS.Instrument(reg)
+	if e.workers != nil {
+		e.workers.Instrument(reg)
+	}
 }
 
 // Now returns the current virtual time in microseconds.
@@ -274,6 +337,7 @@ func (e *Engine) makeRunnable(js *JobState) {
 		return
 	}
 	js.runnable = true
+	js.runnableTime = e.now
 	js.splits = make([][][2]int, len(js.Spec.Inputs))
 	js.inputLines = make([][]string, len(js.Spec.Inputs))
 	for i, in := range js.Spec.Inputs {
@@ -421,6 +485,7 @@ func (e *Engine) removeReady(t *Task) {
 func (e *Engine) bodyPool() *pool.Pool {
 	if e.workers == nil {
 		e.workers = pool.New(e.Workers)
+		e.workers.Instrument(e.obsReg)
 	}
 	return e.workers
 }
@@ -440,7 +505,7 @@ func (e *Engine) startTask(node *cluster.Node, t *Task) {
 		}
 		e.sidBinding[node.ID][sid] = js.Spec.Replica
 	}
-	rt := &runningTask{task: t, node: node.ID, start: e.now}
+	rt := &runningTask{task: t, node: node.ID, start: e.now, wallStart: e.Trace.WallNow()}
 	js.running[t.ID()] = append(js.running[t.ID()], rt)
 
 	// Byzantine behaviour draw (§2.3). Drawn here, not in the body, so
@@ -465,9 +530,12 @@ func (e *Engine) startTask(node *cluster.Node, t *Task) {
 	// body runs off the simulation goroutine and attempts may lose.
 	buf := &digest.Buffer{}
 	chunk := e.DigestChunk
+	digestRecs := e.obsDigestRecs
 	df := func(point int) *digest.Writer {
 		key := digest.Key{SID: js.Spec.SID, Point: point, Task: t.ID()}
-		return digest.NewWriter(key, js.Spec.Replica, chunk, buf.Add)
+		w := digest.NewWriter(key, js.Spec.Replica, chunk, buf.Add)
+		w.Obs = digestRecs
+		return w
 	}
 
 	var body func() bodyResult
@@ -504,6 +572,10 @@ func (e *Engine) settle() {
 		if p.hung {
 			p.rt.hung = true
 			e.Metrics.TasksHung++
+			// The withheld result never commits: its CPU is lost work.
+			e.obsCPULost.Add(dur)
+			e.Trace.Instant("fault", string(p.rt.node), p.rt.task.ID()+" hung", e.now,
+				obs.A("job", p.rt.task.Job.Spec.ID))
 			continue // no completion event: the node withholds the result
 		}
 		e.scheduleCommit(p, dur, res.commit)
@@ -519,15 +591,26 @@ func (e *Engine) scheduleCommit(p pendingBody, dur int64, commit func()) {
 	js := t.Job
 	e.After(dur, func() {
 		if rt.dead {
+			e.obsCPULost.Add(dur) // torn down before its completion fired
 			return
 		}
 		e.unlink(js, t.ID(), rt)
 		e.freeSlots[rt.node]++
 		if js.Killed || js.committed[t.ID()] {
-			e.armTick() // job gone, or a backup raced us and won
+			e.obsCPULost.Add(dur) // job gone, or a backup raced us and won
+			e.armTick()
 			return
 		}
 		js.committed[t.ID()] = true
+		e.obsCPUCommitted.Add(dur)
+		e.obsTaskDur.Observe(dur)
+		if e.Trace != nil {
+			e.Trace.Emit(obs.Span{
+				Cat: "task", Track: string(rt.node), Name: t.ID(),
+				VStart: rt.start, VEnd: e.now, WallStart: rt.wallStart,
+				Attrs: []obs.Attr{obs.A("job", js.Spec.ID), obs.A("kind", t.Kind.String())},
+			})
+		}
 		// A queued backup copy that never started is dead weight now; a
 		// committed task must not linger on the ready queue (it would
 		// never be legal again, and would arm heartbeats forever).
@@ -631,8 +714,9 @@ func (e *Engine) mapBody(t *Task, df digestFactory, corrupt corruptFn) func() bo
 	split := js.splits[t.InputIdx][t.Index]
 	lines := js.inputLines[t.InputIdx][split[0]:split[1]]
 	cost := e.Cost
+	o := e.obsTask
 	return func() bodyResult {
-		out := runMapTask(js.Spec, t.InputIdx, lines, df, corrupt)
+		out := runMapTask(js.Spec, t.InputIdx, lines, df, corrupt, o)
 		inBytes := linesBytes(lines)
 		dur := cost.TaskStartupUs +
 			cost.MapRecordUs*out.recordsIn +
@@ -662,6 +746,9 @@ func (e *Engine) mapBody(t *Task, df digestFactory, corrupt corruptFn) func() bo
 
 // mapsFinished either completes a map-only job or enqueues reduces.
 func (e *Engine) mapsFinished(js *JobState) {
+	js.mapsDoneTime = e.now
+	e.Trace.Record("stage", js.Spec.ID, "map", js.runnableTime, e.now,
+		obs.AI("tasks", int64(js.mapsTotal)))
 	if js.Spec.Reduce == nil {
 		e.completeJob(js)
 		return
@@ -681,6 +768,7 @@ func (e *Engine) mapsFinished(js *JobState) {
 func (e *Engine) reduceBody(t *Task, df digestFactory) func() bodyResult {
 	js := t.Job
 	cost := e.Cost
+	o := e.obsTask
 	return func() bodyResult {
 		total := 0
 		for _, out := range js.mapOutcomes {
@@ -702,7 +790,7 @@ func (e *Engine) reduceBody(t *Task, df digestFactory) func() bodyResult {
 				localBytes += r.bytes()
 			}
 		}
-		out, err := runReduceTask(js.Spec.Reduce, records, df)
+		out, err := runReduceTask(js.Spec.Reduce, records, df, o)
 		if err != nil {
 			// Compiled specs cannot produce unknown reduce kinds; treat as a
 			// job with no output rather than crash the simulation.
@@ -738,6 +826,12 @@ func (e *Engine) writeOutput(js *JobState, part string, lines []string) {
 func (e *Engine) completeJob(js *JobState) {
 	js.Done = true
 	js.DoneTime = e.now
+	if js.Spec.Reduce != nil {
+		e.Trace.Record("stage", js.Spec.ID, "reduce", js.mapsDoneTime, e.now,
+			obs.AI("tasks", int64(js.redsTotal)))
+	}
+	e.Trace.Record("job", js.Spec.ID, "job", js.SubmitTime, e.now,
+		obs.A("sid", js.Spec.SID))
 	// Release any attempts still occupying slots (hung originals whose
 	// work was rescued by a backup).
 	for tid, rts := range js.running {

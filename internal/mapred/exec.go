@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"clusterbft/internal/digest"
+	"clusterbft/internal/obs"
 	"clusterbft/internal/pig"
 	"clusterbft/internal/tuple"
 )
@@ -172,6 +173,17 @@ func extractKey(t tuple.Tuple, keyCols []int, scratch []byte) (string, tuple.Tup
 	return string(scratch), key, scratch
 }
 
+// taskObs carries optional observability counters into task bodies.
+// The zero value disables everything: nil counters no-op, so honest hot
+// paths pay a predictable nil check and zero allocations either way
+// (pinned by the alloc tests).
+type taskObs struct {
+	mapRecords     *obs.Counter // records read by map tasks
+	reduceRecords  *obs.Counter // records entering reduce tasks
+	shuffleRecords *obs.Counter // records written into shuffle partitions
+	outRecords     *obs.Counter // records emitted to task output
+}
+
 // mapOutcome carries the effects of one executed map task.
 type mapOutcome struct {
 	partitions [][]interRec // shuffle jobs: per-reduce-partition records
@@ -186,7 +198,7 @@ type mapOutcome struct {
 type corruptFn func(tuple.Tuple) tuple.Tuple
 
 // runMapTask executes one map task over its split's raw lines.
-func runMapTask(job *JobSpec, inputIdx int, lines []string, df digestFactory, corrupt corruptFn) *mapOutcome {
+func runMapTask(job *JobSpec, inputIdx int, lines []string, df digestFactory, corrupt corruptFn, o taskObs) *mapOutcome {
 	in := &job.Inputs[inputIdx]
 	chain := newOpChain(in.Ops, df)
 	defer chain.close()
@@ -203,6 +215,7 @@ func runMapTask(job *JobSpec, inputIdx int, lines []string, df digestFactory, co
 	for _, line := range lines {
 		t := tuple.DecodeLine(line, in.Schema)
 		out.recordsIn++
+		o.mapRecords.Inc()
 		if corrupt != nil {
 			t = corrupt(t)
 		}
@@ -225,6 +238,11 @@ func runMapTask(job *JobSpec, inputIdx int, lines []string, df digestFactory, co
 		}
 	}
 	out.digested = chain.digests
+	if shuffle {
+		o.shuffleRecords.Add(out.recordsOut)
+	} else {
+		o.outRecords.Add(out.recordsOut)
+	}
 	return out
 }
 
@@ -245,10 +263,11 @@ type reduceOutcome struct {
 // old map+sort.Strings grouping produced, but with no map churn and no
 // moves of the records themselves (an in-place stable sort of the
 // pointer-heavy interRec spends most of its time in write barriers).
-func runReduceTask(spec *ReduceSpec, records []interRec, df digestFactory) (*reduceOutcome, error) {
+func runReduceTask(spec *ReduceSpec, records []interRec, df digestFactory, o taskObs) (*reduceOutcome, error) {
 	chain := newOpChain(spec.PostOps, df)
 	defer chain.close()
 	out := &reduceOutcome{recordsIn: int64(len(records))}
+	o.reduceRecords.Add(out.recordsIn)
 	var scratch []byte // per-task encode buffer, reused across emits
 	emit := func(t tuple.Tuple) {
 		if t, ok := chain.apply(t); ok {
@@ -311,6 +330,7 @@ func runReduceTask(spec *ReduceSpec, records []interRec, df digestFactory) (*red
 		return nil, fmt.Errorf("mapred: unknown reduce kind %v", spec.Kind)
 	}
 	out.digested = chain.digests
+	o.outRecords.Add(out.recordsOut)
 	return out, nil
 }
 

@@ -1,0 +1,134 @@
+package mapred
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"clusterbft/internal/obs"
+)
+
+// traceRun executes the seeded golden workload with a tracer attached
+// and returns the tracer. Deterministic: no wall clock, fixed seed
+// lines, serial workers (Workers=1) so span commit order is reproduced
+// exactly — the JSONL fixture pins it byte for byte.
+func traceRun(t *testing.T) *obs.Tracer {
+	t.Helper()
+	lines := make([]string, 3000)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("%d\t%d", i%97, (i*31+7)%500)
+	}
+	p := plan(t, followerSrc)
+	opts := CompileOptions{Points: digestPoints(t, p, "ne", "counts"), NumReduces: 3}
+	tracer := obs.NewTracer(0)
+	run(t, followerSrc, map[string][]string{"in/edges": lines}, opts, func(e *Engine) {
+		e.DigestChunk = 200
+		e.Workers = 1
+		e.Trace = tracer
+	})
+	return tracer
+}
+
+// TestGoldenTraceJSONL pins the deterministic JSONL trace export of the
+// seeded golden workload against a committed fixture, byte for byte.
+// The virtual-time span stream is part of the engine's observable
+// surface now: schedule drift, task reordering, or span-shape changes
+// fail loudly here. Regenerate deliberately with
+// CLUSTERBFT_UPDATE_GOLDEN=1.
+func TestGoldenTraceJSONL(t *testing.T) {
+	tracer := traceRun(t)
+	var b bytes.Buffer
+	if err := tracer.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+
+	golden := filepath.Join("testdata", "golden_trace.jsonl")
+	if os.Getenv("CLUSTERBFT_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read fixture (CLUSTERBFT_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		gotLines := strings.Split(got, "\n")
+		wantLines := strings.Split(string(want), "\n")
+		for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+			var g, w string
+			if i < len(gotLines) {
+				g = gotLines[i]
+			}
+			if i < len(wantLines) {
+				w = wantLines[i]
+			}
+			if g != w {
+				t.Errorf("line %d:\n  got  %q\n  want %q", i+1, g, w)
+				break
+			}
+		}
+		t.Fatalf("trace stream diverged from committed fixture (%d vs %d bytes)",
+			len(got), len(want))
+	}
+}
+
+// TestGoldenTraceChromeTwin checks the same run's Chrome trace_event
+// export is valid trace JSON whose X events correspond one-to-one with
+// the JSONL spans.
+func TestGoldenTraceChromeTwin(t *testing.T) {
+	tracer := traceRun(t)
+	var b bytes.Buffer
+	if err := tracer.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Ts  *int64 `json:"ts"`
+			Pid *int   `json:"pid"`
+			Tid *int   `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var x int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ts == nil || ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event missing required fields: %+v", ev)
+		}
+		if ev.Ph == "X" {
+			x++
+		}
+	}
+	if x != tracer.Len() {
+		t.Errorf("chrome X events = %d, JSONL spans = %d", x, tracer.Len())
+	}
+	// Span mix sanity: the follower script compiles to one job with a
+	// map stage and a reduce stage (1 map split, 3 reduce partitions).
+	var jobs, stages, tasks int
+	for _, s := range tracer.Spans() {
+		switch s.Cat {
+		case "job":
+			jobs++
+		case "stage":
+			stages++
+		case "task":
+			tasks++
+		}
+	}
+	if jobs != 1 || stages != 2 || tasks != 4 {
+		t.Errorf("span mix jobs=%d stages=%d tasks=%d, want 1/2/4", jobs, stages, tasks)
+	}
+}

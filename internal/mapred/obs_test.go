@@ -1,0 +1,121 @@
+package mapred
+
+import (
+	"testing"
+
+	"clusterbft/internal/cluster"
+	"clusterbft/internal/obs"
+)
+
+// stragglerRun executes the slot fixture with a slow node and
+// speculation enabled, returning the engine after the run settles.
+func stragglerRun(t *testing.T, workers int, mutate func(*Engine)) *Engine {
+	t.Helper()
+	eng, jobs := slotFixture(t, 25000)
+	eng.Workers = workers
+	eng.Speculation = true
+	adv := cluster.NewAdversary(cluster.FaultSlow, 1.0, 2)
+	adv.SlowFactor = 25
+	eng.Cluster.Nodes()[2].Adversary = adv
+	if mutate != nil {
+		mutate(eng)
+	}
+	js, err := eng.Submit(jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !js.Done {
+		t.Fatal("job incomplete")
+	}
+	return eng
+}
+
+// TestMetricsEqualAcrossPoolSizes pins the speculation audit of the
+// Metrics struct: losing and speculative attempts must be accounted
+// identically no matter how many host workers compute task bodies, so
+// every field — RecordsIn, HDFSBytesRead, CPUTimeUs included — is equal
+// between a serial run and an 8-worker run of the same straggler
+// workload. A leak of a losing replica's effects into committed totals
+// would show up here as pool-size-dependent metrics.
+func TestMetricsEqualAcrossPoolSizes(t *testing.T) {
+	a := stragglerRun(t, 1, nil)
+	b := stragglerRun(t, 8, nil)
+	if a.Metrics.SpeculativeTasks == 0 {
+		t.Skip("no speculation triggered in this layout")
+	}
+	if a.Metrics != b.Metrics {
+		t.Errorf("metrics differ across pool sizes:\n  workers=1 %+v\n  workers=8 %+v",
+			a.Metrics, b.Metrics)
+	}
+}
+
+// TestCPUSplitAccountsEveryAttempt pins the committed/lost CPU split the
+// registry adds on top of the struct: CPUTimeUs (which deliberately
+// includes losing attempts — a pinned semantic) must decompose exactly
+// into committed plus lost, and a straggler run must lose some work.
+func TestCPUSplitAccountsEveryAttempt(t *testing.T) {
+	reg := obs.NewRegistry()
+	eng := stragglerRun(t, 4, func(e *Engine) { e.InstrumentMetrics(reg) })
+	if eng.Metrics.SpeculativeTasks == 0 {
+		t.Skip("no speculation triggered in this layout")
+	}
+	committed := reg.Counter("mapred.cpu_committed_us").Value()
+	lost := reg.Counter("mapred.cpu_lost_us").Value()
+	if committed+lost != eng.Metrics.CPUTimeUs {
+		t.Errorf("committed %d + lost %d != CPUTimeUs %d",
+			committed, lost, eng.Metrics.CPUTimeUs)
+	}
+	if lost == 0 {
+		t.Error("straggler+speculation run lost no CPU")
+	}
+	if committed >= eng.Metrics.CPUTimeUs {
+		t.Error("committed CPU must exclude losing attempts")
+	}
+}
+
+// TestRegistryViewMatchesStruct checks the mapred.metrics.* Func views
+// read the live struct fields, and that attaching observability does not
+// perturb the run itself.
+func TestRegistryViewMatchesStruct(t *testing.T) {
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(0)
+	instrumented := stragglerRun(t, 2, func(e *Engine) {
+		e.InstrumentMetrics(reg)
+		e.Trace = tracer
+	})
+	plain := stragglerRun(t, 2, nil)
+	if instrumented.Metrics != plain.Metrics {
+		t.Errorf("attaching observability changed the run:\n  with %+v\n  without %+v",
+			instrumented.Metrics, plain.Metrics)
+	}
+	m := instrumented.Metrics
+	want := map[string]int64{
+		"mapred.metrics.cpu_time_us":       m.CPUTimeUs,
+		"mapred.metrics.map_tasks":         m.MapTasks,
+		"mapred.metrics.reduce_tasks":      m.ReduceTasks,
+		"mapred.metrics.records_in":        m.RecordsIn,
+		"mapred.metrics.records_out":       m.RecordsOut,
+		"mapred.metrics.hdfs_bytes_read":   m.HDFSBytesRead,
+		"mapred.metrics.jobs_completed":    m.JobsCompleted,
+		"mapred.metrics.speculative_tasks": m.SpeculativeTasks,
+	}
+	got := make(map[string]int64)
+	for _, s := range reg.Snapshot() {
+		got[s.Name] = s.Value
+	}
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s = %d, want %d", name, got[name], w)
+		}
+	}
+	// Data-plane counters threaded into task bodies count every attempt,
+	// so they are at least the committed record totals.
+	if got["mapred.task.map_records"] < m.RecordsIn {
+		t.Errorf("task map_records %d < committed RecordsIn %d",
+			got["mapred.task.map_records"], m.RecordsIn)
+	}
+	if tracer.Len() == 0 {
+		t.Error("tracer recorded no spans")
+	}
+}

@@ -1,0 +1,42 @@
+package obs
+
+import "testing"
+
+// Allocation pins for the disabled-observability contract: hot paths
+// across the pipeline call these hooks unconditionally, relying on nil
+// receivers (and enabled counters) costing zero allocations. The mapred
+// and digest packages pin their own paths end to end; these pins
+// localize a regression to the obs primitives themselves.
+
+func TestNilCounterAddAllocs(t *testing.T) {
+	var c *Counter
+	if got := testing.AllocsPerRun(200, func() { c.Add(1); c.Inc() }); got != 0 {
+		t.Errorf("nil Counter ops allocs = %v, want 0", got)
+	}
+}
+
+func TestEnabledCounterAddAllocs(t *testing.T) {
+	c := NewRegistry().Counter("hot")
+	if got := testing.AllocsPerRun(200, func() { c.Add(1) }); got != 0 {
+		t.Errorf("enabled Counter.Add allocs = %v, want 0", got)
+	}
+}
+
+func TestEnabledHistogramObserveAllocs(t *testing.T) {
+	h := NewRegistry().Histogram("lat", DurationBucketsUs)
+	if got := testing.AllocsPerRun(200, func() { h.Observe(12345) }); got != 0 {
+		t.Errorf("enabled Histogram.Observe allocs = %v, want 0", got)
+	}
+}
+
+func TestNilTracerRecordAllocs(t *testing.T) {
+	var tr *Tracer
+	if got := testing.AllocsPerRun(200, func() {
+		tr.Record("task", "node-0", "m0-000", 100, 200, A("job", "j"), A("kind", "map"))
+	}); got != 0 {
+		t.Errorf("nil Tracer.Record allocs = %v, want 0", got)
+	}
+	if got := testing.AllocsPerRun(200, func() { _ = tr.WallNow() }); got != 0 {
+		t.Errorf("nil Tracer.WallNow allocs = %v, want 0", got)
+	}
+}

@@ -1,0 +1,274 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. All methods are safe on
+// a nil receiver (no-ops) and safe for concurrent use: task bodies on
+// the worker pool increment counters while the simulation goroutine
+// reads others. Sums are order-independent, so concurrent increments do
+// not threaten determinism of final values.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count; 0 on a nil counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can move in both directions (slots in use,
+// queue depth). Nil-safe like Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current value; 0 on a nil gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram counts observations into fixed, registration-time bucket
+// boundaries (upper bounds, inclusive, in ascending order) plus an
+// implicit +Inf bucket, and tracks sum and count. Observe is nil-safe
+// and allocation-free.
+type Histogram struct {
+	bounds []int64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	sum    atomic.Int64
+	n      atomic.Int64
+}
+
+// DurationBucketsUs is a general-purpose set of virtual-microsecond
+// latency boundaries: 1ms..100s in roughly 3x steps.
+var DurationBucketsUs = []int64{
+	1_000, 3_000, 10_000, 30_000, 100_000, 300_000,
+	1_000_000, 3_000_000, 10_000_000, 30_000_000, 100_000_000,
+}
+
+// Observe folds one value into the histogram.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// Count returns the number of observations; 0 on nil.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of observed values; 0 on nil.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Bounds returns the bucket upper bounds (shared; do not mutate).
+func (h *Histogram) Bounds() []int64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// BucketCount returns the count of bucket i (i == len(Bounds()) is the
+// +Inf bucket).
+func (h *Histogram) BucketCount(i int) int64 {
+	if h == nil || i < 0 || i >= len(h.counts) {
+		return 0
+	}
+	return h.counts[i].Load()
+}
+
+// Registry is a named collection of instruments. Register-or-get
+// methods return the existing instrument when the name is taken, so
+// components created in sequence (e.g. one engine per experiment rig)
+// accumulate into shared counters. Func gauges are read-only views over
+// external state (the mapred.Metrics compatibility view); re-registering
+// a func name replaces the reader.
+//
+// All methods are nil-safe: a nil *Registry hands out nil instruments,
+// which are themselves no-ops, so "metrics off" needs no wiring at all.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		funcs:    make(map[string]func() int64),
+	}
+}
+
+// Counter registers (or returns the existing) counter under name.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge registers (or returns the existing) gauge under name.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram registers (or returns the existing) histogram under name.
+// bounds are ascending upper bounds; they are fixed at first
+// registration and later bounds arguments for the same name are ignored.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		b := make([]int64, len(bounds))
+		copy(b, bounds)
+		h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Func registers a read-only gauge computed at snapshot time. Replaces
+// any previous func under the same name.
+func (r *Registry) Func(name string, fn func() int64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Sample is one named value of a registry snapshot. Histograms expand
+// into one sample per bucket plus _count and _sum.
+type Sample struct {
+	Name  string
+	Kind  string // "counter", "gauge", "hist", "func"
+	Value int64
+}
+
+// Snapshot reads every instrument into a deterministic, name-sorted
+// sample list.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Sample, 0, len(r.counters)+len(r.gauges)+len(r.funcs)+4*len(r.hists))
+	for name, c := range r.counters {
+		out = append(out, Sample{Name: name, Kind: "counter", Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		out = append(out, Sample{Name: name, Kind: "gauge", Value: g.Value()})
+	}
+	for name, fn := range r.funcs {
+		out = append(out, Sample{Name: name, Kind: "func", Value: fn()})
+	}
+	for name, h := range r.hists {
+		out = append(out, Sample{Name: name + "_count", Kind: "hist", Value: h.Count()})
+		out = append(out, Sample{Name: name + "_sum", Kind: "hist", Value: h.Sum()})
+		for i, b := range h.bounds {
+			out = append(out, Sample{
+				Name: name + "_le_" + strconv.FormatInt(b, 10), Kind: "hist", Value: h.BucketCount(i),
+			})
+		}
+		out = append(out, Sample{Name: name + "_le_inf", Kind: "hist", Value: h.BucketCount(len(h.bounds))})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// RenderText formats the snapshot as an aligned two-column table, one
+// instrument per line, name-sorted.
+func (r *Registry) RenderText() string {
+	samples := r.Snapshot()
+	width := 0
+	for _, s := range samples {
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	var b strings.Builder
+	for _, s := range samples {
+		fmt.Fprintf(&b, "%-*s  %d\n", width, s.Name, s.Value)
+	}
+	return b.String()
+}

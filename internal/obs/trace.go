@@ -1,0 +1,287 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Span is one completed interval on the pipeline timeline: a job, a
+// stage, a task attempt, a digest verification, a suspicion update.
+// VStart/VEnd are virtual microseconds from the owning simulation clock;
+// WallStart/WallEnd are wall-clock microseconds, populated only when the
+// tracer has a wall clock enabled (never in deterministic test runs).
+// Track groups spans onto one display row (a node, a job, "verifier").
+type Span struct {
+	Cat       string
+	Track     string
+	Name      string
+	VStart    int64
+	VEnd      int64
+	WallStart int64
+	WallEnd   int64
+	Attrs     []Attr
+}
+
+// Tracer records completed spans into a fixed-capacity ring buffer.
+// When the ring fills, the oldest spans are overwritten (and counted as
+// dropped) so long runs keep the most recent window instead of growing
+// without bound — and, since eviction depends only on span count, the
+// retained window of a seeded run is still deterministic.
+//
+// All methods are nil-safe no-ops on a nil *Tracer; disabled tracing is
+// the zero value of a pointer field, and the disabled hooks are
+// allocation-free (pinned by alloc tests).
+type Tracer struct {
+	mu      sync.Mutex
+	cap     int
+	ring    []Span
+	next    int // overwrite cursor once len(ring) == cap
+	dropped int64
+	wall    func() int64
+}
+
+// DefaultTraceCapacity is the ring size used when NewTracer is given a
+// non-positive capacity.
+const DefaultTraceCapacity = 1 << 15
+
+// NewTracer builds a tracer retaining up to capacity spans
+// (DefaultTraceCapacity when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &Tracer{cap: capacity}
+}
+
+// WallUnixMicros is a wall clock for EnableWallClock.
+func WallUnixMicros() int64 { return time.Now().UnixMicro() }
+
+// EnableWallClock makes the tracer stamp wall-clock fields using fn
+// (usually WallUnixMicros). Leave disabled for deterministic runs: wall
+// times vary run to run and are therefore excluded from JSONL exports.
+func (t *Tracer) EnableWallClock(fn func() int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.wall = fn
+	t.mu.Unlock()
+}
+
+// WallNow returns the current wall-clock reading, or 0 when the tracer
+// is nil or has no wall clock. Components capture span start times with
+// this so a disabled wall clock costs nothing.
+func (t *Tracer) WallNow() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	fn := t.wall
+	t.mu.Unlock()
+	if fn == nil {
+		return 0
+	}
+	return fn()
+}
+
+// Emit records one completed span. The span's Attrs slice is retained;
+// callers must not mutate it afterwards.
+func (t *Tracer) Emit(s Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.wall != nil && s.WallEnd == 0 {
+		s.WallEnd = t.wall()
+	}
+	if len(t.ring) < t.cap {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[t.next] = s
+		t.next = (t.next + 1) % t.cap
+		t.dropped++
+	}
+	t.mu.Unlock()
+}
+
+// Record emits a span from its parts. The variadic attrs are copied, so
+// call sites keep the argument slice on the stack and a disabled tracer
+// records nothing and allocates nothing.
+func (t *Tracer) Record(cat, track, name string, vstart, vend int64, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	var cp []Attr
+	if len(attrs) > 0 {
+		cp = make([]Attr, len(attrs))
+		copy(cp, attrs)
+	}
+	t.Emit(Span{Cat: cat, Track: track, Name: name, VStart: vstart, VEnd: vend, Attrs: cp})
+}
+
+// Instant emits a zero-duration span at virtual time at.
+func (t *Tracer) Instant(cat, track, name string, at int64, attrs ...Attr) {
+	t.Record(cat, track, name, at, at, attrs...)
+}
+
+// Len returns the number of retained spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.ring)
+}
+
+// Dropped returns how many spans the ring has evicted.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Spans returns the retained spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	if len(t.ring) == t.cap {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// jsonlSpan fixes the JSONL field set and order. Wall-clock fields are
+// deliberately absent: JSONL is the deterministic export, byte-identical
+// across runs of a seeded simulation, and golden fixtures pin it.
+type jsonlSpan struct {
+	Cat    string `json:"cat"`
+	Track  string `json:"track"`
+	Name   string `json:"name"`
+	VStart int64  `json:"vstart"`
+	VEnd   int64  `json:"vend"`
+	Attrs  []Attr `json:"attrs,omitempty"`
+}
+
+// WriteJSONL writes one JSON object per retained span, oldest first.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	for _, s := range t.Spans() {
+		line, err := json.Marshal(jsonlSpan{
+			Cat: s.Cat, Track: s.Track, Name: s.Name,
+			VStart: s.VStart, VEnd: s.VEnd, Attrs: s.Attrs,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chromeEvent is one Chrome trace_event object ("X" complete events plus
+// "M" thread-name metadata), loadable in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   int64             `json:"ts"`
+	Dur  *int64            `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace writes the retained spans as Chrome trace_event JSON.
+// Timestamps are the spans' virtual microseconds (trace_event's native
+// unit), each track becomes a named thread, and wall-clock readings, if
+// present, ride along as args.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	tid := make(map[string]int)
+	var events []chromeEvent
+	for _, s := range spans {
+		id, ok := tid[s.Track]
+		if !ok {
+			id = len(tid) + 1
+			tid[s.Track] = id
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: id,
+				Args: map[string]string{"name": s.Track},
+			})
+		}
+		args := make(map[string]string, len(s.Attrs)+2)
+		for _, a := range s.Attrs {
+			args[a.K] = a.V
+		}
+		if s.WallStart != 0 {
+			args["wall_start_us"] = strconv.FormatInt(s.WallStart, 10)
+		}
+		if s.WallEnd != 0 {
+			args["wall_end_us"] = strconv.FormatInt(s.WallEnd, 10)
+		}
+		if len(args) == 0 {
+			args = nil
+		}
+		dur := s.VEnd - s.VStart
+		if dur < 0 {
+			dur = 0
+		}
+		events = append(events, chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X", Ts: s.VStart, Dur: &dur,
+			Pid: 1, Tid: id, Args: args,
+		})
+	}
+	out := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteTraceFiles writes the Chrome trace_event JSON to path and its
+// deterministic JSONL twin next to it (path with the extension replaced
+// by .jsonl, or .jsonl appended). It returns the JSONL path.
+func WriteTraceFiles(t *Tracer, path string) (string, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	twin := path + ".jsonl"
+	if i := strings.LastIndex(path, "."); i > strings.LastIndex(path, "/") {
+		twin = path[:i] + ".jsonl"
+	}
+	g, err := os.Create(twin)
+	if err != nil {
+		return "", err
+	}
+	if err := t.WriteJSONL(g); err != nil {
+		g.Close()
+		return "", err
+	}
+	return twin, g.Close()
+}

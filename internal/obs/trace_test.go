@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTracerRecordsAndExportsJSONL(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record("job", "j1", "job", 0, 100, A("id", "j1"))
+	tr.Record("task", "node-0", "m0-000", 10, 60, A("job", "j1"), AI("dur", 50))
+	if tr.Len() != 2 {
+		t.Fatalf("len = %d, want 2", tr.Len())
+	}
+	var b bytes.Buffer
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("jsonl lines = %d, want 2", len(lines))
+	}
+	want0 := `{"cat":"job","track":"j1","name":"job","vstart":0,"vend":100,"attrs":[{"k":"id","v":"j1"}]}`
+	if lines[0] != want0 {
+		t.Errorf("line 0 = %s\nwant     %s", lines[0], want0)
+	}
+	// Byte-identical re-export.
+	var b2 bytes.Buffer
+	if err := tr.WriteJSONL(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Error("JSONL export must be deterministic")
+	}
+}
+
+func TestTracerRingEvictsOldest(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Record("c", "t", "s", int64(i), int64(i)+1)
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("retained = %d, want 3", len(spans))
+	}
+	if spans[0].VStart != 2 || spans[2].VStart != 4 {
+		t.Errorf("ring kept %v..%v, want oldest=2 newest=4", spans[0].VStart, spans[2].VStart)
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", tr.Dropped())
+	}
+}
+
+// TestChromeTraceValid pins the Chrome trace_event contract Perfetto
+// needs: a top-level traceEvents array whose "X" events carry name, ts,
+// dur, pid and tid, with one thread_name metadata event per track.
+func TestChromeTraceValid(t *testing.T) {
+	tr := NewTracer(16)
+	tr.Record("task", "node-0", "m0", 100, 200, A("job", "j1"))
+	tr.Record("task", "node-1", "m1", 100, 250)
+	tr.Instant("suspicion", "verifier", "fault", 300)
+	var b bytes.Buffer
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   *int64            `json:"ts"`
+			Dur  *int64            `json:"dur"`
+			Pid  *int              `json:"pid"`
+			Tid  *int              `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var xEvents, metaEvents int
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "" || ev.Ph == "" || ev.Ts == nil || ev.Pid == nil || ev.Tid == nil {
+			t.Fatalf("event missing required fields: %+v", ev)
+		}
+		switch ev.Ph {
+		case "X":
+			xEvents++
+			if ev.Dur == nil || *ev.Dur < 0 {
+				t.Fatalf("X event without non-negative dur: %+v", ev)
+			}
+		case "M":
+			metaEvents++
+			if ev.Name != "thread_name" || ev.Args["name"] == "" {
+				t.Fatalf("bad metadata event: %+v", ev)
+			}
+		}
+	}
+	if xEvents != 3 {
+		t.Errorf("X events = %d, want 3", xEvents)
+	}
+	if metaEvents != 3 { // node-0, node-1, verifier
+		t.Errorf("thread_name events = %d, want 3", metaEvents)
+	}
+}
+
+func TestWallClockOnlyWhenEnabled(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Record("c", "t", "first", 0, 1)
+	now := int64(1000)
+	tr.EnableWallClock(func() int64 { now++; return now })
+	if tr.WallNow() == 0 {
+		t.Fatal("WallNow must read the enabled clock")
+	}
+	tr.Record("c", "t", "second", 0, 1)
+	spans := tr.Spans()
+	if spans[0].WallEnd != 0 {
+		t.Error("span recorded before EnableWallClock must have no wall time")
+	}
+	if spans[1].WallEnd == 0 {
+		t.Error("span recorded after EnableWallClock must carry a wall end")
+	}
+	// JSONL stays wall-free either way.
+	var b bytes.Buffer
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "wall") {
+		t.Error("JSONL export must exclude wall-clock fields")
+	}
+}
+
+func TestWriteTraceFiles(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Record("c", "t", "s", 0, 10)
+	dir := t.TempDir()
+	path := dir + "/run.trace.json"
+	twin, err := WriteTraceFiles(tr, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := dir + "/run.trace.jsonl"; twin != want {
+		t.Errorf("twin = %q, want %q", twin, want)
+	}
+}

@@ -11,11 +11,16 @@
 // finishes first.
 package pool
 
-import "runtime"
+import (
+	"runtime"
+
+	"clusterbft/internal/obs"
+)
 
 // Pool bounds how many submitted computations run concurrently.
 type Pool struct {
 	sem chan struct{}
+	obs *obs.Counter // submissions; set by Instrument before first Go
 }
 
 // New builds a pool running at most size computations at once; size <= 0
@@ -30,6 +35,17 @@ func New(size int) *Pool {
 // Size returns the concurrency bound.
 func (p *Pool) Size() int { return cap(p.sem) }
 
+// Instrument registers the pool into reg: its concurrency bound as a
+// gauge and a counter of submitted computations. Call before the first
+// Go; submissions already in flight keep the previous counter.
+func (p *Pool) Instrument(reg *obs.Registry) {
+	if p == nil || reg == nil {
+		return
+	}
+	reg.Gauge("pool.size").Set(int64(p.Size()))
+	p.obs = reg.Counter("pool.tasks_submitted")
+}
+
 // Future is the pending result of one submitted computation. Wait is
 // not safe for concurrent use: one goroutine owns the future.
 type Future[T any] struct {
@@ -42,6 +58,7 @@ type Future[T any] struct {
 // goroutine once a concurrency slot frees; it must not touch state the
 // submitting goroutine mutates before the corresponding Wait.
 func Go[T any](p *Pool, fn func() T) *Future[T] {
+	p.obs.Inc()
 	f := &Future[T]{ch: make(chan T, 1)}
 	go func() {
 		p.sem <- struct{}{}
