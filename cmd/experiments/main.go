@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	experiments [-exp all|fig9|fig10|table3|fig11|fig12|fig13|fig14] [-scale small|paper]
+//	experiments [-exp all|fig9|fig10|table3|fig11|fig12|fig13|fig14|recovery] [-scale small|paper]
 //	            [--trace=run.json] [--metrics]
 //
 // Each experiment prints rows shaped like the paper's (§6); see
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig9, fig10, table3, fig11, fig12, fig13, fig14")
+	exp := flag.String("exp", "all", "experiment: all, fig9, fig10, table3, fig11, fig12, fig13, fig14, recovery")
 	scaleName := flag.String("scale", "small", "workload scale: small or paper")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline here (a .jsonl twin is written next to it)")
 	metrics := flag.Bool("metrics", false, "print the accumulated metrics registry after the experiments")
@@ -67,6 +67,7 @@ func main() {
 		{"fig12", func() (string, error) { return experiments.Fig12(sc).Render(), nil }},
 		{"fig13", func() (string, error) { return experiments.Fig13(sc).Render(), nil }},
 		{"fig14", func() (string, error) { r, err := experiments.Fig14(sc); return render(r, err) }},
+		{"recovery", func() (string, error) { r, err := experiments.Recovery(); return render(r, err) }},
 	}
 
 	matched := false

@@ -12,6 +12,15 @@
 // the simulator tick it happened at. --trace exports the same audit
 // trail as a Chrome trace_event timeline (one row per event kind, plus a
 // .jsonl twin); --metrics prints run counters as a registry snapshot.
+//
+// A second mode drives the deterministic fault-injection subsystem
+// instead of the suspicion simulator:
+//
+//	faultsim -chaos [-seed 7]        one seeded schedule end-to-end
+//	faultsim -campaign 200 [-seed 1] N schedules with invariant checks
+//
+// Both print the schedule(s), recovery actions and invariant outcomes;
+// the same seed always reproduces the same report byte-for-byte.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"strings"
 
 	"clusterbft/internal/analyze"
+	"clusterbft/internal/chaos"
 	"clusterbft/internal/cluster"
 	"clusterbft/internal/faultsim"
 	"clusterbft/internal/obs"
@@ -36,7 +46,28 @@ func main() {
 	timeline := flag.Int("timeline", 0, "print the last N suspicion audit events (-1 = all, 0 = off)")
 	traceFile := flag.String("trace", "", "write the audit trail as Chrome trace_event JSON here (a .jsonl twin is written next to it)")
 	metrics := flag.Bool("metrics", false, "print run counters as a metrics registry snapshot")
+	chaosRun := flag.Bool("chaos", false, "run one seeded fault-injection schedule end-to-end (uses -seed)")
+	campaign := flag.Int("campaign", 0, "run N seeded fault-injection schedules with invariant checks (uses -seed as base)")
 	flag.Parse()
+
+	if *chaosRun || *campaign > 0 {
+		cfg := chaos.DefaultCampaign()
+		cfg.BaseSeed = *seed
+		cfg.Schedules = *campaign
+		if *chaosRun && *campaign <= 0 {
+			cfg.Schedules = 1
+		}
+		rep, err := chaos.RunCampaign(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.Render())
+		if len(rep.Violations()) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	var mix faultsim.Mix
 	switch *mixName {

@@ -57,10 +57,28 @@ type Network struct {
 	// silence — equivocation, corrupted votes — are modeled here.
 	Transform func(from, to ID, msg Message) Message
 
+	// Perturb, when set, draws a delivery perturbation for each message
+	// after Drop/Transform: chaos injection uses it for seeded message
+	// loss, duplication and reordering (extra delay) bounded to a quorum-
+	// safe victim set. Nil is free.
+	Perturb func(from, to ID, msg Message) Perturbation
+
 	// Trace, when set, observes every delivered message.
 	Trace func(from, to ID, msg Message)
 
 	delivered int64
+}
+
+// Perturbation alters the delivery of one message. The zero value
+// delivers normally.
+type Perturbation struct {
+	// Drop silently loses the message (all copies).
+	Drop bool
+	// Dup delivers this many extra copies on top of the original.
+	Dup int
+	// ExtraDelayUs is added to the base latency; duplicated copies get it
+	// compounded per copy, which reorders them past later traffic.
+	ExtraDelayUs int64
 }
 
 // NewNetwork returns an empty network.
@@ -101,7 +119,16 @@ func (n *Network) Send(from, to ID, msg Message) {
 	if n.Delay != nil {
 		delay = n.Delay(from, to)
 	}
-	n.After(delay, func() {
+	copies := 1
+	if n.Perturb != nil {
+		p := n.Perturb(from, to, msg)
+		if p.Drop {
+			return
+		}
+		copies += p.Dup
+		delay += p.ExtraDelayUs
+	}
+	deliver := func() {
 		h := n.nodes[to]
 		if h == nil {
 			return
@@ -111,7 +138,10 @@ func (n *Network) Send(from, to ID, msg Message) {
 			n.Trace(from, to, msg)
 		}
 		h.Receive(from, msg)
-	})
+	}
+	for c := 0; c < copies; c++ {
+		n.After(delay*int64(c+1), deliver)
+	}
 }
 
 // After schedules fn at now+delayUs.

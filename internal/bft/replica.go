@@ -48,7 +48,6 @@ type Replica struct {
 	view     uint64
 	nextSeq  uint64
 	lastExec uint64
-	maxSeq   uint64
 	log      map[uint64]*entry
 
 	executed map[string][]byte  // request key -> cached result
@@ -190,9 +189,6 @@ func (r *Replica) onPrePrepare(from ID, pp PrePrepare) {
 	e := r.entryAt(pp.Seq)
 	if e.pp != nil && e.pp.Digest != pp.Digest {
 		return // conflicting proposal for the slot; ignore (primary is faulty)
-	}
-	if pp.Seq > r.maxSeq {
-		r.maxSeq = pp.Seq
 	}
 	e.pp = &pp
 	key := pp.Request.key()
@@ -344,12 +340,19 @@ func (r *Replica) onViewChange(from ID, vc ViewChange) {
 		return
 	}
 	// This replica leads the new view: gather surviving requests and
-	// re-propose them deterministically.
+	// re-propose them deterministically. Numbering restarts right after
+	// the highest EXECUTED sequence across the quorum — not after the
+	// highest proposed one. installView purges every unexecuted slot, so
+	// basing the restart on a slot that was proposed but never executed
+	// would leave a permanent hole below the re-proposals; the in-order
+	// execution loop can never cross a hole, and the group live-locks
+	// through endless view changes while the request stays pending
+	// forever.
 	seen := make(map[string]Request)
-	maxSeq := r.maxSeq
+	maxExec := r.lastExec
 	for _, v := range votes {
-		if v.LastSeq > maxSeq {
-			maxSeq = v.LastSeq
+		if v.LastSeq > maxExec {
+			maxExec = v.LastSeq
 		}
 		for _, req := range v.Pending {
 			seen[req.key()] = req
@@ -364,7 +367,7 @@ func (r *Replica) onViewChange(from ID, vc ViewChange) {
 	}
 	sort.Strings(keys)
 	nv := NewView{View: vc.NewView, Primary: r.id}
-	seq := maxSeq
+	seq := maxExec
 	for _, k := range keys {
 		req := seen[k]
 		if r.executed[req.key()] != nil {

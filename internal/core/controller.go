@@ -150,6 +150,14 @@ type Controller struct {
 	Susp *SuspicionTable
 	FA   *FaultAnalyzer
 
+	// OnRecovery, when set, observes the controller's lifecycle decisions
+	// for each sub-graph: "launch", "verify", "retry" (timeout or
+	// no-agreement re-initiation at r+1), "restart" (deviant optimistic
+	// source) and "fail" (MaxAttempts exhausted). The attempt argument is
+	// the sub-graph's total launch count so far. Nil costs nothing; chaos
+	// campaigns and the recovery-latency experiment tabulate it.
+	OnRecovery func(action string, cluster, attempt int)
+
 	matcher *Matcher
 	runSeq  int
 	reports int64
@@ -460,6 +468,11 @@ func (c *Controller) tryLaunch(cs *clusterState) {
 		rs := &repState{idx: rep, nodes: make(NodeSet)}
 		rs.prefix = fmt.Sprintf("x/%s/r%d", cs.sid, rep)
 		cs.replicas[rep] = rs
+		// Attempt-scoped sids already give every launch a fresh namespace;
+		// the purge makes the no-append guarantee unconditional — a
+		// relaunch must never Append onto a dead attempt's partial records
+		// even if a prefix were ever reused.
+		c.Eng.FS.DeleteTree(rs.prefix)
 		for _, tmpl := range cs.jobs {
 			spec := c.rewriteJob(cs, rs, tmpl)
 			rs.jobIDs = append(rs.jobIDs, spec.ID)
@@ -470,6 +483,16 @@ func (c *Controller) tryLaunch(cs *clusterState) {
 			}
 		}
 	}
+	c.notify("launch", cs)
+	c.armTimeout(cs)
+}
+
+// armTimeout arms the verifier timer for the current attempt. The timer
+// is keyed by the attempt's sid, so a stale timer from an earlier attempt
+// can never fire a retry against a newer one, and every attempt —
+// including re-initiations carrying a doubled timeout — runs under its
+// own fresh timer.
+func (c *Controller) armTimeout(cs *clusterState) {
 	sid := cs.sid
 	c.Eng.After(cs.timeoutUs, func() { c.onTimeout(cs, sid) })
 }
@@ -512,6 +535,44 @@ func (c *Controller) fail(err error) {
 	if c.runErr == nil {
 		c.runErr = err
 	}
+}
+
+func (c *Controller) notify(action string, cs *clusterState) {
+	if c.OnRecovery != nil {
+		c.OnRecovery(action, cs.id, cs.totalTries)
+	}
+}
+
+// ClusterStatus is a read-only snapshot of one sub-graph's recovery
+// state, exposed for invariant checks (chaos campaigns assert every
+// sub-graph ends Verified or explicitly Failed).
+type ClusterStatus struct {
+	ID        int
+	Attempts  int
+	Upstream  []int
+	Verified  bool
+	Failed    bool
+	Launched  bool
+	Terminal  bool
+	TimeoutUs int64
+}
+
+// ClusterStates snapshots every sub-graph of the most recent Run.
+func (c *Controller) ClusterStates() []ClusterStatus {
+	out := make([]ClusterStatus, len(c.clusters))
+	for i, cs := range c.clusters {
+		out[i] = ClusterStatus{
+			ID:        cs.id,
+			Attempts:  cs.totalTries,
+			Upstream:  append([]int(nil), cs.upstream...),
+			Verified:  cs.verified,
+			Failed:    cs.failed,
+			Launched:  cs.launched,
+			Terminal:  cs.terminal,
+			TimeoutUs: cs.timeoutUs,
+		}
+	}
+	return out
 }
 
 // onDigest stores digests as they stream in from the untrusted tier and
@@ -587,6 +648,7 @@ func (c *Controller) checkVerify(cs *clusterState) {
 	}
 	cs.verified = true
 	cs.verifiedAt = c.Eng.Now()
+	c.notify("verify", cs)
 	cs.winner = majority[0]
 	cs.winnerFP = c.matcher.Fingerprint(cs.sid, cs.winner)
 	c.Eng.Trace.Record("verify", "verifier", cs.sid, cs.launchedAtV, cs.verifiedAt,
@@ -686,43 +748,77 @@ func (c *Controller) retry(cs *clusterState, omission bool) {
 		c.killReplica(rs)
 	}
 	if cs.totalTries >= c.Cfg.MaxAttempts {
-		cs.failed = true
-		c.fail(fmt.Errorf("core: sub-graph c%d exhausted %d attempts", cs.id, cs.totalTries))
+		c.failCluster(cs)
+		// Exhaustion outside a restart cascade: consumers launched against
+		// this sub-graph's optimistic output must not keep running.
+		c.restart(cs)
 		return
 	}
 	cs.attempt++
 	cs.r++
 	cs.timeoutUs *= 2
 	cs.launched = false
+	c.notify("retry", cs)
 	c.tryLaunch(cs)
 }
 
 // restart re-runs a sub-graph (same r) because its optimistic input came
 // from a replica later found deviant; consumers restart transitively.
-func (c *Controller) restart(cs *clusterState) {
-	if cs.failed {
-		return
-	}
-	for _, rs := range cs.replicas {
-		c.killReplica(rs)
-	}
-	wasLaunched := cs.launched
-	cs.verified = false
-	cs.launched = false
-	if wasLaunched {
-		cs.attempt++
-		if cs.totalTries >= c.Cfg.MaxAttempts {
-			cs.failed = true
-			c.fail(fmt.Errorf("core: sub-graph c%d exhausted %d attempts", cs.id, cs.totalTries))
-			return
+//
+// The cascade is collected up front (breadth-first, deduplicated) instead
+// of by recursion: a consumer reached through two upstream paths in one
+// event is killed and charged exactly once, and — the critical ordering —
+// every member of the cascade is torn down even when one of them exhausts
+// MaxAttempts. The recursive version checked exhaustion before visiting
+// consumers and returned early, leaving already-launched downstream
+// sub-graphs running against the dead attempt's stale optimistic output,
+// where they could still reach "verified".
+func (c *Controller) restart(root *clusterState) {
+	affected := []*clusterState{root}
+	seen := map[int]bool{root.id: true}
+	for i := 0; i < len(affected); i++ {
+		for _, d := range c.clusters {
+			if contains(d.upstream, affected[i].id) && d.launched && !seen[d.id] {
+				seen[d.id] = true
+				affected = append(affected, d)
+			}
 		}
 	}
-	for _, d := range c.clusters {
-		if contains(d.upstream, cs.id) && d.launched {
-			c.restart(d)
+	for _, cs := range affected {
+		if cs.failed {
+			continue
+		}
+		for _, rs := range cs.replicas {
+			c.killReplica(rs)
+		}
+		wasLaunched := cs.launched
+		cs.verified = false
+		cs.launched = false
+		if wasLaunched {
+			cs.attempt++
+			if cs.totalTries >= c.Cfg.MaxAttempts {
+				c.failCluster(cs)
+				continue
+			}
+			c.notify("restart", cs)
 		}
 	}
-	c.tryLaunch(cs)
+	// Relaunch survivors upstream-first; consumers of a still-incomplete
+	// (or failed) upstream defer inside tryLaunch and are re-triggered by
+	// the normal completion propagation.
+	for _, cs := range affected {
+		c.tryLaunch(cs)
+	}
+}
+
+// failCluster marks a sub-graph permanently failed and surfaces the
+// run-level error. Its consumers are not torn down here — the restart
+// cascade that discovered the exhaustion already holds them in its
+// worklist, and unlaunched consumers are fenced by sourcesReady.
+func (c *Controller) failCluster(cs *clusterState) {
+	cs.failed = true
+	c.notify("fail", cs)
+	c.fail(fmt.Errorf("core: sub-graph c%d exhausted %d attempts", cs.id, cs.totalTries))
 }
 
 // onTimeout fires when a sub-graph attempt exceeds the verifier timeout.

@@ -110,9 +110,21 @@ func (m *Matcher) Agreement(sid string, completed []int) (majority, deviants []i
 }
 
 // KeyDeviants performs the online per-key check over everything reported
-// so far for sid: for each key where some sum has f+1 replica votes, any
-// replica with a different sum is deviant. This flags commission faults
-// before replicas finish (approximate, offline comparison, §3.3).
+// so far for sid: for each key where exactly one sum has f+1 replica
+// votes, any replica with a different sum is deviant. This flags
+// commission faults before replicas finish (approximate, offline
+// comparison, §3.3).
+//
+// A key where TWO sums reach f+1 votes yields no deviants. With at most
+// f faulty replicas every f+1 class contains an honest replica, and
+// honest replicas agree — so two qualifying classes prove the fault
+// budget was exceeded for this key and the evidence is unusable.
+// Short chunks make the case practical, not hypothetical: two replicas
+// faulty in unrelated ways (a truncated partition, a corruption that
+// shifted a record into another partition) both emit an EMPTY stream
+// for the key, and empty streams share the digest of no input. Picking
+// a winner here — the pre-fix code took whichever class map iteration
+// happened to visit first — blamed honest replicas nondeterministically.
 func (m *Matcher) KeyDeviants(sid string) []int {
 	replicas := m.bySID[sid]
 	votes := make(map[digest.Key]map[digest.Sum][]int)
@@ -127,12 +139,16 @@ func (m *Matcher) KeyDeviants(sid string) []int {
 	deviant := make(map[int]bool)
 	for _, bysum := range votes {
 		var winner []int
+		ambiguous := false
 		for _, reps := range bysum {
-			if len(reps) >= m.f+1 && len(reps) > len(winner) {
+			if len(reps) >= m.f+1 {
+				if winner != nil {
+					ambiguous = true
+				}
 				winner = reps
 			}
 		}
-		if winner == nil {
+		if winner == nil || ambiguous {
 			continue
 		}
 		inWin := make(map[int]bool, len(winner))

@@ -133,6 +133,35 @@ func TestKeyDeviantsNoMajorityYet(t *testing.T) {
 	}
 }
 
+func TestKeyDeviantsAmbiguousQuorum(t *testing.T) {
+	// 2 vs 2 on one key with f=1: both sums reach f+1 votes, which is
+	// impossible with at most f faulty replicas — the evidence is
+	// unusable and nobody may be marked deviant. The pre-fix code picked
+	// whichever class map iteration visited first and blamed the other
+	// pair, so with two honest replicas and two replicas faulty in
+	// unrelated ways (both emitting an empty chunk, which digests
+	// identically), the honest pair was blamed half the time.
+	m := NewMatcher(1)
+	m.Add(report("s", 0, 1, "r001", 0, "honest"))
+	m.Add(report("s", 3, 1, "r001", 0, "honest"))
+	m.Add(report("s", 1, 1, "r001", 0, "empty"))
+	m.Add(report("s", 2, 1, "r001", 0, "empty"))
+	if got := m.KeyDeviants("s"); len(got) != 0 {
+		t.Errorf("ambiguous 2v2 quorum produced deviants %v", got)
+	}
+	// An unambiguous key still convicts: all four agree except replica 2.
+	for rep := 0; rep < 4; rep++ {
+		payload := "ok"
+		if rep == 2 {
+			payload = "shifted"
+		}
+		m.Add(report("s", rep, 1, "r000", 0, payload))
+	}
+	if got := m.KeyDeviants("s"); !reflect.DeepEqual(got, []int{2}) {
+		t.Errorf("KeyDeviants = %v, want [2]", got)
+	}
+}
+
 func TestReportsAndForget(t *testing.T) {
 	m := NewMatcher(1)
 	m.Add(report("s", 0, 1, "t", 0, "x"))

@@ -19,6 +19,17 @@ import (
 // FS is a concurrency-safe in-memory file system. The zero value is not
 // usable; construct with New.
 type FS struct {
+	// WriteHook, when set, transforms the lines of every Append before
+	// they are stored; ReadHook transforms the result of each logical
+	// read (once per ReadLines or ReadTree call, applied to the copy
+	// handed to the caller — stored data is never touched). Both are
+	// nil-safe and zero-cost when unset; they exist for fault injection,
+	// which uses them to corrupt or truncate record streams at the
+	// storage boundary. Set hooks before using the FS concurrently; a
+	// hook must be a pure function and must not call back into the FS.
+	ReadHook  func(path string, lines []string) []string
+	WriteHook func(path string, lines []string) []string
+
 	mu    sync.RWMutex
 	files map[string]*file
 
@@ -67,6 +78,9 @@ func (fs *FS) Create(path string) error {
 // is no way to overwrite existing records in place.
 func (fs *FS) Append(path string, lines ...string) {
 	path = clean(path)
+	if fs.WriteHook != nil {
+		lines = fs.WriteHook(path, lines)
+	}
 	var n int64
 	for _, l := range lines {
 		n += int64(len(l)) + 1
@@ -86,6 +100,16 @@ func (fs *FS) Append(path string, lines ...string) {
 // ReadLines returns a copy of the lines of the file at path.
 func (fs *FS) ReadLines(path string) ([]string, error) {
 	path = clean(path)
+	out, err := fs.readRaw(path)
+	if err == nil && fs.ReadHook != nil {
+		out = fs.ReadHook(path, out)
+	}
+	return out, err
+}
+
+// readRaw is ReadLines without the read hook; ReadTree builds on it so a
+// logical tree read passes through the hook exactly once.
+func (fs *FS) readRaw(path string) ([]string, error) {
 	fs.mu.RLock()
 	f, ok := fs.files[path]
 	if !ok {
@@ -203,11 +227,14 @@ func (fs *FS) ReadTree(prefix string) ([]string, error) {
 	}
 	var out []string
 	for _, p := range paths {
-		lines, err := fs.ReadLines(p)
+		lines, err := fs.readRaw(p)
 		if err != nil {
 			return nil, err
 		}
 		out = append(out, lines...)
+	}
+	if fs.ReadHook != nil {
+		out = fs.ReadHook(clean(prefix), out)
 	}
 	return out, nil
 }

@@ -235,3 +235,66 @@ func TestSizeMatchesBytesWrittenProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestWriteHookTransformsStoredLines checks the write-side injection
+// hook: Append stores the hook's transformation, and byte accounting
+// follows what was actually stored.
+func TestWriteHookTransformsStoredLines(t *testing.T) {
+	fs := New()
+	fs.WriteHook = func(path string, lines []string) []string {
+		if path != "x/out" || len(lines) == 0 {
+			return lines
+		}
+		return lines[:len(lines)-1] // truncate the stream's tail
+	}
+	fs.Append("x/out", "a", "b", "c")
+	fs.Append("plain", "a", "b", "c")
+	got, err := fs.ReadLines("x/out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Errorf("hooked file kept %d lines, want 2", len(got))
+	}
+	if n, _ := fs.LineCount("plain"); n != 3 {
+		t.Errorf("unmatched path was transformed: %d lines", n)
+	}
+	if sz, _ := fs.Size("x/out"); sz != 4 {
+		t.Errorf("size %d counts dropped lines", sz)
+	}
+}
+
+// TestReadHookAppliesOncePerLogicalRead checks the read-side hook fires
+// exactly once per ReadLines or ReadTree call — a tree read must not
+// additionally filter each part file — and never touches stored data.
+func TestReadHookAppliesOncePerLogicalRead(t *testing.T) {
+	fs := New()
+	fs.Append("d/part-0", "a")
+	fs.Append("d/part-1", "b")
+	calls := 0
+	fs.ReadHook = func(path string, lines []string) []string {
+		calls++
+		return append(lines, "tampered:"+path)
+	}
+	tree, err := fs.ReadTree("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Errorf("tree read fired the hook %d times, want 1", calls)
+	}
+	if len(tree) != 3 || tree[2] != "tampered:d" {
+		t.Errorf("tree = %v, want 2 lines + tamper marker for the prefix", tree)
+	}
+	if _, err := fs.ReadLines("d/part-0"); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Errorf("flat read fired the hook %d more times, want 1", calls-1)
+	}
+	// Stored data is untouched: a hookless FS view of the same ops.
+	fs.ReadHook = nil
+	if n, _ := fs.LineCount("d/part-0"); n != 1 {
+		t.Errorf("hook mutated stored data: %d lines", n)
+	}
+}

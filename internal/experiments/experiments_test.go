@@ -252,3 +252,47 @@ func TestHelpers(t *testing.T) {
 		t.Error("dLabel")
 	}
 }
+
+func TestRecoveryTable(t *testing.T) {
+	res, err := Recovery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]RecoveryRow{}
+	var clean int64
+	for _, row := range res.Rows {
+		byName[row.Scenario] = row
+		if row.Violations > 0 {
+			t.Errorf("%s: %d invariant violations", row.Scenario, row.Violations)
+		}
+		if row.Scenario == "clean" {
+			clean = row.LatencyUs
+		}
+	}
+	// Single-victim faults are masked by f+1-of-R verification: no added
+	// latency over the clean run.
+	for _, name := range []string{"crash+rejoin", "hang p=0.6", "commission p=0.9"} {
+		row, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing scenario %q", name)
+		}
+		if !row.Verified {
+			t.Errorf("%s: not verified", name)
+		}
+		// Placement may shift by a heartbeat or two; within 1% of the
+		// clean run counts as masked.
+		if diff := row.LatencyUs - clean; diff > clean/100 || diff < -clean/100 {
+			t.Errorf("%s: latency %d vs clean %d; single victims should be masked", name, row.LatencyUs, clean)
+		}
+	}
+	// Hanging half the cluster exceeds the replication margin: the run
+	// must pay retries and measurable latency, yet still verify.
+	hang3 := byName["hang 3 nodes p=0.9"]
+	if !hang3.Verified || hang3.Recoveries["retry"] == 0 || hang3.LatencyUs <= clean {
+		t.Errorf("hang 3 nodes: verified=%v retries=%d latency=%d (clean %d)",
+			hang3.Verified, hang3.Recoveries["retry"], hang3.LatencyUs, clean)
+	}
+	if !strings.Contains(res.Render(), "vs clean") {
+		t.Error("render header missing")
+	}
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"clusterbft/internal/chaos"
+	"clusterbft/internal/cluster"
+)
+
+// RecoveryRow is one fault scenario's end-to-end outcome on the chaos
+// campaign workload: how much virtual time the run took, how many
+// sub-graph attempts it needed, and which recovery actions the
+// controller exercised on the way to (or instead of) verification.
+type RecoveryRow struct {
+	Scenario   string
+	LatencyUs  int64
+	Attempts   int
+	Recoveries map[string]int
+	Verified   bool
+	Violations int
+}
+
+// RecoveryResult is the recovery-latency table: the paper's recovery
+// story (§4.2 retry at r+1, §4.3 fault isolation) measured as added
+// virtual latency per injected fault class, against the clean run.
+type RecoveryResult struct {
+	Rows []RecoveryRow
+}
+
+// Recovery runs one hand-built schedule per fault class through the
+// deterministic fault-injection subsystem and reports the recovery
+// latency relative to the fault-free run. Scenarios reuse the campaign
+// workload (three chained sub-graphs, R=3 on a 6x2 cluster), so rows are
+// comparable with campaign reports; every row is a pure function of the
+// fixed schedules below.
+func Recovery() (*RecoveryResult, error) {
+	cfg := chaos.DefaultCampaign()
+	baseline, err := chaos.Baseline(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("recovery baseline: %w", err)
+	}
+	node := func(i int) cluster.NodeID {
+		return cluster.NodeID(fmt.Sprintf("node-%03d", i))
+	}
+	scenarios := []struct {
+		name  string
+		sched *chaos.Schedule
+	}{
+		{"clean", &chaos.Schedule{}},
+		{"crash+rejoin", &chaos.Schedule{Events: []chaos.Event{
+			{Kind: chaos.CrashRejoin, Node: node(2), AtUs: 2_000_000, DownUs: 20_000_000, Salt: 11},
+		}}},
+		{"straggler x6", &chaos.Schedule{Events: []chaos.Event{
+			{Kind: chaos.Straggler, Node: node(1), Slow: 6, Salt: 12},
+		}}},
+		{"hang p=0.6", &chaos.Schedule{Events: []chaos.Event{
+			{Kind: chaos.HangTask, Node: node(3), Prob: 600, Salt: 13},
+		}}},
+		// One hanging node is masked by replication: verification takes
+		// the first f+1 agreeing replicas and kills the laggard. Hanging
+		// half the cluster exceeds that margin and forces the timeout
+		// path — retry at r+1 with a doubled timeout (§4.2 step 6).
+		{"hang 3 nodes p=0.9", &chaos.Schedule{Events: []chaos.Event{
+			{Kind: chaos.HangTask, Node: node(0), Prob: 900, Salt: 21},
+			{Kind: chaos.HangTask, Node: node(2), Prob: 900, Salt: 22},
+			{Kind: chaos.HangTask, Node: node(4), Prob: 900, Salt: 23},
+		}}},
+		{"commission p=0.9", &chaos.Schedule{Events: []chaos.Event{
+			{Kind: chaos.Commission, Node: node(4), Prob: 900, Salt: 14},
+		}}},
+		{"truncate-write", &chaos.Schedule{Events: []chaos.Event{
+			{Kind: chaos.TruncateWrite, Replica: 1, Prob: 950, Salt: 15},
+		}}},
+	}
+	res := &RecoveryResult{}
+	for _, sc := range scenarios {
+		sr := chaos.RunSchedule(cfg, sc.sched, baseline)
+		res.Rows = append(res.Rows, RecoveryRow{
+			Scenario:   sc.name,
+			LatencyUs:  sr.EndUs,
+			Attempts:   sr.Attempts,
+			Recoveries: sr.Recoveries,
+			Verified:   sr.Verified,
+			Violations: len(sr.Violations),
+		})
+	}
+	return res, nil
+}
+
+// Render prints the recovery-latency table.
+func (r *RecoveryResult) Render() string {
+	var clean int64
+	for _, row := range r.Rows {
+		if row.Scenario == "clean" {
+			clean = row.LatencyUs
+		}
+	}
+	rows := make([][]string, len(r.Rows))
+	for i, row := range r.Rows {
+		outcome := "verified"
+		if !row.Verified {
+			outcome = "failed"
+		}
+		if row.Violations > 0 {
+			outcome += fmt.Sprintf(" (%d violations)", row.Violations)
+		}
+		rows[i] = []string{
+			row.Scenario,
+			seconds(row.LatencyUs),
+			ratio(row.LatencyUs, clean),
+			fmt.Sprintf("%d", row.Attempts),
+			renderRecov(row.Recoveries),
+			outcome,
+		}
+	}
+	return "recovery latency by fault class (campaign workload, R=3, 6x2 cluster):\n" +
+		table([]string{"scenario", "latency(s)", "vs clean", "attempts", "recovery actions", "outcome"}, rows)
+}
+
+func renderRecov(m map[string]int) string {
+	keys := []string{"retry", "restart", "fail"}
+	out := ""
+	for _, k := range keys {
+		if m[k] > 0 {
+			if out != "" {
+				out += " "
+			}
+			out += fmt.Sprintf("%s:%d", k, m[k])
+		}
+	}
+	if out == "" {
+		return "-"
+	}
+	return out
+}

@@ -12,6 +12,7 @@ import (
 	"clusterbft/internal/digest"
 	"clusterbft/internal/obs"
 	"clusterbft/internal/pool"
+	"clusterbft/internal/tuple"
 )
 
 // CostModel sets the virtual-time costs of engine operations, in
@@ -61,6 +62,22 @@ type Metrics struct {
 	SpeculativeTasks  int64 // backup copies launched
 }
 
+// TaskFault is one fault verdict for a dispatched task attempt, drawn by
+// the engine's TaskHook before the body runs. The zero value is honest
+// execution.
+type TaskFault struct {
+	// SlowFactor > 1 multiplies the attempt's virtual duration
+	// (straggler). Values <= 1 are ignored.
+	SlowFactor float64
+	// Hang withholds the attempt's result forever (omission): the slot
+	// stays occupied and no completion event fires.
+	Hang bool
+	// Corrupt, when non-nil, tampers every input tuple of a map task
+	// (commission); ignored for reduce tasks, matching the node
+	// adversary's behaviour.
+	Corrupt func(tuple.Tuple) tuple.Tuple
+}
+
 // JobState tracks one submitted job through execution.
 type JobState struct {
 	Spec *JobSpec
@@ -91,6 +108,8 @@ type JobState struct {
 	maxDur     map[TaskKind]int64        // longest committed duration per kind
 	speculated map[string]bool           // task IDs with a backup launched
 
+	hasDependents bool // another submitted job consumes this job's output
+
 	runnableTime int64 // when the job's map tasks entered the ready queue
 	mapsDoneTime int64 // when the last map task committed
 }
@@ -106,6 +125,14 @@ type runningTask struct {
 
 // Latency returns the job's virtual makespan; valid once Done.
 func (j *JobState) Latency() int64 { return j.DoneTime - j.SubmitTime }
+
+// HasDependents reports whether another submitted job consumes this
+// job's output. With the controller's rewriting, dependents are always
+// same-replica consumers, so corruption of such an output is detectable
+// by digest comparison — chaos uses this to pick sound write-mangle
+// targets (tampering an output nobody re-reads within the replica would
+// land after the digests were taken, which trusted storage rules out).
+func (j *JobState) HasDependents() bool { return j.hasDependents }
 
 type event struct {
 	at  int64
@@ -152,6 +179,13 @@ type Engine struct {
 	// instrumentation is nil-safe and allocation-free when disabled.
 	Trace *obs.Tracer
 
+	// TaskHook, when set, is consulted on the simulation goroutine at
+	// every task dispatch, after the node adversary's own draw, and may
+	// overlay additional faults on the attempt (chaos injection). Nil is
+	// free; the hook must be deterministic given (node, task) because it
+	// runs in dispatch order.
+	TaskHook func(node cluster.NodeID, t *Task) TaskFault
+
 	// DigestChunk is the paper's d: records per digest chunk (§6.4);
 	// <= 0 means one digest per task stream.
 	DigestChunk int
@@ -175,6 +209,8 @@ type Engine struct {
 
 	jobs       map[string]*JobState
 	jobOrder   []string
+	byOutput   map[string]*JobState
+	dead       map[cluster.NodeID]bool
 	ticks      int
 	specArmed  bool
 	ready      []*Task
@@ -229,6 +265,8 @@ func NewEngine(fs *dfs.FS, cl *cluster.Cluster, sched Scheduler, cost CostModel)
 		SpecLagFactor:  2.0,
 		SpecIntervalUs: 1_000_000,
 		jobs:           make(map[string]*JobState),
+		byOutput:       make(map[string]*JobState),
+		dead:           make(map[cluster.NodeID]bool),
 		freeSlots:      make(map[cluster.NodeID]int),
 		sidBinding:     make(map[cluster.NodeID]map[string]int),
 	}
@@ -297,6 +335,10 @@ func (e *Engine) After(delayUs int64, fn func()) {
 // Job returns the state of a submitted job, or nil.
 func (e *Engine) Job(id string) *JobState { return e.jobs[id] }
 
+// JobByOutput returns the job writing under the output directory dir, or
+// nil. Chaos injection uses it to map DFS paths back to jobs.
+func (e *Engine) JobByOutput(dir string) *JobState { return e.byOutput[dir] }
+
 // Submit enqueues a job. Dependencies must have been submitted earlier
 // (compiler output order satisfies this). Duplicate IDs are an error.
 func (e *Engine) Submit(spec *JobSpec) (*JobState, error) {
@@ -315,11 +357,13 @@ func (e *Engine) Submit(spec *JobSpec) (*JobState, error) {
 	}
 	e.jobs[spec.ID] = js
 	e.jobOrder = append(e.jobOrder, spec.ID)
+	e.byOutput[spec.Output] = js
 	for _, dep := range spec.Deps {
 		d := e.jobs[dep]
 		if d == nil {
 			return nil, fmt.Errorf("mapred: job %q depends on unsubmitted %q", spec.ID, dep)
 		}
+		d.hasDependents = true
 		if !d.Done {
 			js.depsLeft++
 			d.dependents = append(d.dependents, js)
@@ -424,6 +468,9 @@ func (e *Engine) tick() bool {
 	sawWork := false
 	for i := range nodes {
 		node := nodes[(start+i)%len(nodes)]
+		if e.dead[node.ID] {
+			continue // crashed: no heartbeat, no slots
+		}
 		for e.freeSlots[node.ID] > 0 {
 			cands := e.legalTasks(node)
 			if len(cands) == 0 {
@@ -524,6 +571,20 @@ func (e *Engine) startTask(node *cluster.Node, t *Task) {
 			slow = adv.Slowdown()
 		}
 	}
+	// Chaos overlay: injected faults compose with (and never mask) the
+	// node adversary's draw.
+	if e.TaskHook != nil {
+		f := e.TaskHook(node.ID, t)
+		if f.Corrupt != nil && corrupt == nil {
+			corrupt = f.Corrupt
+		}
+		if f.Hang {
+			hung = true
+		}
+		if f.SlowFactor > slow {
+			slow = f.SlowFactor
+		}
+	}
 
 	// Digest reports are buffered per attempt and replayed at commit
 	// time, never emitted straight into the sink from the body: the
@@ -595,7 +656,7 @@ func (e *Engine) scheduleCommit(p pendingBody, dur int64, commit func()) {
 			return
 		}
 		e.unlink(js, t.ID(), rt)
-		e.freeSlots[rt.node]++
+		e.releaseSlot(rt.node)
 		if js.Killed || js.committed[t.ID()] {
 			e.obsCPULost.Add(dur) // job gone, or a backup raced us and won
 			e.armTick()
@@ -624,7 +685,7 @@ func (e *Engine) scheduleCommit(p pendingBody, dur int64, commit func()) {
 		// Tear down losing sibling attempts (hung originals included).
 		for _, other := range js.running[t.ID()] {
 			other.dead = true
-			e.freeSlots[other.node]++
+			e.releaseSlot(other.node)
 		}
 		delete(js.running, t.ID())
 		// Digests first: when commit completes the job, the verifier
@@ -837,7 +898,7 @@ func (e *Engine) completeJob(js *JobState) {
 	for tid, rts := range js.running {
 		for _, rt := range rts {
 			rt.dead = true
-			e.freeSlots[rt.node]++
+			e.releaseSlot(rt.node)
 		}
 		delete(js.running, tid)
 	}
@@ -865,7 +926,7 @@ func (e *Engine) KillJob(id string) {
 	for tid, rts := range js.running {
 		for _, rt := range rts {
 			rt.dead = true
-			e.freeSlots[rt.node]++
+			e.releaseSlot(rt.node)
 		}
 		delete(js.running, tid)
 	}
@@ -878,6 +939,106 @@ func (e *Engine) KillJob(id string) {
 	e.ready = keep
 	e.armTick()
 }
+
+// releaseSlot returns one task slot to a node — unless the node crashed,
+// in which case its capacity vanished with it and RejoinNode restores the
+// full complement. Every teardown path that pairs with a startTask slot
+// claim must go through here so crash-stop cannot mint phantom slots.
+func (e *Engine) releaseSlot(n cluster.NodeID) {
+	if !e.dead[n] {
+		e.freeSlots[n]++
+	}
+}
+
+// CrashNode fail-stops a node at the current virtual time: its slots
+// vanish, its replica bindings are forgotten, and every attempt it was
+// running dies. A dead attempt's task is requeued when no other live
+// attempt exists and its result has not committed, so surviving nodes
+// (or the node itself after RejoinNode) can pick the work back up — the
+// task-level recovery Hadoop performs below the verifier's timeout.
+// Crashing an unknown or already-dead node is a no-op. It reports
+// whether the node was alive.
+func (e *Engine) CrashNode(id cluster.NodeID) bool {
+	if e.dead[id] {
+		return false
+	}
+	known := false
+	for _, n := range e.Cluster.Nodes() {
+		if n.ID == id {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return false
+	}
+	e.dead[id] = true
+	e.freeSlots[id] = 0
+	delete(e.sidBinding, id)
+	e.Trace.Instant("fault", string(id), "crash", e.now)
+	// jobOrder iteration keeps the requeue order deterministic.
+	for _, jid := range e.jobOrder {
+		js := e.jobs[jid]
+		if js == nil || js.Done || js.Killed {
+			continue
+		}
+		tids := make([]string, 0, len(js.running))
+		for tid := range js.running {
+			tids = append(tids, tid)
+		}
+		sort.Strings(tids)
+		for _, tid := range tids {
+			rts := js.running[tid]
+			survivors := rts[:0]
+			lost := false
+			for _, rt := range rts {
+				if rt.node == id {
+					rt.dead = true
+					lost = true
+				} else {
+					survivors = append(survivors, rt)
+				}
+			}
+			js.running[tid] = survivors
+			if !lost {
+				continue
+			}
+			if len(survivors) == 0 && !js.committed[tid] {
+				// No live attempt remains: put the task back on the ready
+				// queue and let speculation treat the rerun as a fresh
+				// original. All attempts of a tid share one Task.
+				delete(js.running, tid)
+				delete(js.speculated, tid)
+				e.ready = append(e.ready, rts[0].task)
+			}
+		}
+	}
+	e.armTick()
+	return true
+}
+
+// RejoinNode brings a crashed node back with its full slot complement
+// (and no memory of prior replica bindings — the crash cleared them, so
+// the scheduler may bind it to any replica afresh). Rejoining a live or
+// unknown node is a no-op. It reports whether a rejoin happened.
+func (e *Engine) RejoinNode(id cluster.NodeID) bool {
+	if !e.dead[id] {
+		return false
+	}
+	delete(e.dead, id)
+	for _, n := range e.Cluster.Nodes() {
+		if n.ID == id {
+			e.freeSlots[id] = n.Slots
+			break
+		}
+	}
+	e.Trace.Instant("fault", string(id), "rejoin", e.now)
+	e.armTick()
+	return true
+}
+
+// NodeDead reports whether id is currently crash-stopped.
+func (e *Engine) NodeDead(id cluster.NodeID) bool { return e.dead[id] }
 
 // Run processes events until the queue drains. Jobs hung on omission
 // faults leave the queue empty with jobs incomplete — callers arm
