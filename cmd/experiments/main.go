@@ -3,7 +3,7 @@
 // Usage:
 //
 //	experiments [-exp all|fig9|fig10|table3|fig11|fig12|fig13|fig14|recovery] [-scale small|paper]
-//	            [--trace=run.json] [--metrics]
+//	            [-combine=on|off] [--trace=run.json] [--metrics]
 //
 // Each experiment prints rows shaped like the paper's (§6); see
 // EXPERIMENTS.md for the mapping and the expected shapes. --trace
@@ -25,6 +25,7 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, fig9, fig10, table3, fig11, fig12, fig13, fig14, recovery")
 	scaleName := flag.String("scale", "small", "workload scale: small or paper")
+	combine := flag.String("combine", "on", "map-side combiners: on or off (results are identical either way; latencies differ)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline here (a .jsonl twin is written next to it)")
 	metrics := flag.Bool("metrics", false, "print the accumulated metrics registry after the experiments")
 	flag.Parse()
@@ -53,6 +54,14 @@ func main() {
 		sc = experiments.Paper()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	switch *combine {
+	case "on":
+	case "off":
+		sc.DisableCombine = true
+	default:
+		fmt.Fprintf(os.Stderr, "bad -combine %q (want on or off)\n", *combine)
 		os.Exit(2)
 	}
 

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	pigrun -script q.pig -input data/edges=edges.tsv [-nodes 8] [-slots 3] [-show 20]
-//	       [--trace=run.json] [--metrics]
+//	       [-combine=on|off] [--trace=run.json] [--metrics]
 //
 // --trace writes a Chrome trace_event JSON timeline (loadable in
 // chrome://tracing or Perfetto) plus a deterministic JSONL twin;
@@ -45,6 +45,7 @@ func run() error {
 	nodes := flag.Int("nodes", 8, "cluster size")
 	slots := flag.Int("slots", 3, "task slots per node")
 	reduces := flag.Int("reduces", 2, "reduce parallelism")
+	combine := flag.String("combine", "on", "map-side combiners: on or off (outputs are identical either way)")
 	show := flag.Int("show", 20, "output records to print per store")
 	explain := flag.Bool("explain", false, "print the logical plan and compiled jobs, then exit")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline here (a .jsonl twin is written next to it)")
@@ -62,7 +63,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	jobs, err := mapred.Compile(plan, mapred.CompileOptions{NumReduces: *reduces})
+	if *combine != "on" && *combine != "off" {
+		return fmt.Errorf("bad -combine %q (want on or off)", *combine)
+	}
+	jobs, err := mapred.Compile(plan, mapred.CompileOptions{
+		NumReduces:     *reduces,
+		DisableCombine: *combine == "off",
+	})
 	if err != nil {
 		return err
 	}

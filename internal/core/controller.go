@@ -39,6 +39,9 @@ type Config struct {
 	DigestChunk int
 	// NumReduces is the reduce parallelism handed to the compiler.
 	NumReduces int
+	// DisableCombine turns off map-side combining in compiled jobs (the
+	// -combine=off escape hatch); observables are identical either way.
+	DisableCombine bool
 	// TimeoutUs is the verifier timeout for one sub-graph attempt; on
 	// expiry the sub-graph is re-initiated with r+1 replicas and twice
 	// the timeout (§4.2 step 6).
@@ -216,8 +219,9 @@ func (c *Controller) Run(script string) (*Result, error) {
 	}
 	points := c.choosePoints(plan)
 	jobs, err := mapred.Compile(plan, mapred.CompileOptions{
-		Points:     points,
-		NumReduces: c.Cfg.NumReduces,
+		Points:         points,
+		NumReduces:     c.Cfg.NumReduces,
+		DisableCombine: c.Cfg.DisableCombine,
 	})
 	if err != nil {
 		return nil, err
@@ -832,11 +836,17 @@ func (c *Controller) onTimeout(cs *clusterState, sid string) {
 // RunPlain executes a script without replication or verification — the
 // "Pure Pig" baseline of §6.1 — and returns the virtual latency.
 func RunPlain(eng *mapred.Engine, script string) (int64, error) {
+	return RunPlainOpts(eng, script, mapred.CompileOptions{NumReduces: 2})
+}
+
+// RunPlainOpts is RunPlain with explicit compile options, so baselines
+// can mirror a controller's combiner setting.
+func RunPlainOpts(eng *mapred.Engine, script string, opts mapred.CompileOptions) (int64, error) {
 	plan, err := pig.Parse(script)
 	if err != nil {
 		return 0, err
 	}
-	jobs, err := mapred.Compile(plan, mapred.CompileOptions{NumReduces: 2})
+	jobs, err := mapred.Compile(plan, opts)
 	if err != nil {
 		return 0, err
 	}

@@ -11,6 +11,7 @@ import (
 	"clusterbft/internal/dfs"
 	"clusterbft/internal/mapred"
 	"clusterbft/internal/obs"
+	"clusterbft/internal/pig"
 )
 
 const weatherScript = `
@@ -486,5 +487,81 @@ func TestControllerAuditTrailAndSpans(t *testing.T) {
 	if verifySpans == 0 || suspicionSpans == 0 || taskSpans == 0 {
 		t.Errorf("span mix verify=%d suspicion=%d task=%d, want all > 0",
 			verifySpans, suspicionSpans, taskSpans)
+	}
+}
+
+// TestControllerCombinedCommissionCaught pins the combiner's interplay
+// with §5 verification: with map-side combining active (the default),
+// a commission-faulty node corrupts records that reach the shuffle only
+// as combined partial state — yet the verification points digest the
+// pre-combine stream, so the deviation is still detected and attributed,
+// and the verified output matches an honest combiner-off run byte for
+// byte.
+func TestControllerCombinedCommissionCaught(t *testing.T) {
+	// The first weather job must actually combine, or this test would
+	// silently degrade into the plain commission scenario.
+	plan, err := pig.Parse(weatherScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := mapred.Compile(plan, mapred.CompileOptions{NumReduces: DefaultConfig().NumReduces})
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := false
+	for _, j := range jobs {
+		if j.Reduce != nil && j.Reduce.Combine {
+			combined = true
+		}
+	}
+	if !combined {
+		t.Fatal("weather script compiles with no combined job; test premise broken")
+	}
+
+	h := newHarness(t, 16, 3, DefaultConfig()) // r=4, f=1, combiners on
+	if err := h.cl.SetAdversary("node-003", cluster.FaultCommission, 1.0, 11); err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.ctrl.Run(weatherScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("combined run should verify despite one faulty node")
+	}
+	if res.FaultyReplicas == 0 {
+		t.Error("commission fault on combined partials not detected")
+	}
+	found := false
+	for _, s := range res.Suspects {
+		if s == "node-003" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("suspects %v do not include the faulty node", res.Suspects)
+	}
+	if h.eng.Metrics.CombinedRecords == 0 {
+		t.Error("no records were combined; combiner was not active")
+	}
+
+	// Honest combiner-off baseline: same observables.
+	cfg := DefaultConfig()
+	cfg.DisableCombine = true
+	h2 := newHarness(t, 16, 3, cfg)
+	res2, err := h2.ctrl.Run(weatherScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Verified {
+		t.Fatal("combiner-off baseline failed to verify")
+	}
+	if h2.eng.Metrics.CombinedRecords != 0 {
+		t.Error("DisableCombine did not reach the engine")
+	}
+	on := h.outputLines(t, res, "out/counts")
+	off := h2.outputLines(t, res2, "out/counts")
+	if strings.Join(on, "|") != strings.Join(off, "|") {
+		t.Errorf("verified output differs between combine on (faulty) and off (honest):\n%v\nvs\n%v", on, off)
 	}
 }

@@ -30,6 +30,9 @@ type Scale struct {
 	Trials          int // fault-isolation trials per configuration
 	SimTime         int // fault-isolation simulated ticks
 	Seed            int64
+	// DisableCombine turns off map-side combining in every compiled job
+	// (cmd/experiments -combine=off), for A/B shuffle-volume comparisons.
+	DisableCombine bool
 }
 
 // Small returns a scale suitable for unit tests (sub-second runs).
@@ -75,9 +78,10 @@ var Observe func(*mapred.Engine)
 // rig is one disposable measurement setup: fresh storage, cluster and
 // engine over a seeded dataset.
 type rig struct {
-	fs  *dfs.FS
-	cl  *cluster.Cluster
-	eng *mapred.Engine
+	fs             *dfs.FS
+	cl             *cluster.Cluster
+	eng            *mapred.Engine
+	disableCombine bool
 }
 
 func newRig(sc Scale, path string, lines []string) *rig {
@@ -88,7 +92,7 @@ func newRig(sc Scale, path string, lines []string) *rig {
 	if Observe != nil {
 		Observe(eng)
 	}
-	return &rig{fs: fs, cl: cl, eng: eng}
+	return &rig{fs: fs, cl: cl, eng: eng, disableCombine: sc.DisableCombine}
 }
 
 // expCostModel puts the experiments in the paper's operating regime:
@@ -103,6 +107,7 @@ func expCostModel() mapred.CostModel {
 		MapRecordUs:     20,
 		ReduceRecordUs:  30,
 		ShuffleRecordUs: 4,
+		CombineRecordUs: 2,
 		DigestRecordUs:  4,
 		HeartbeatUs:     100_000,
 		SplitRecords:    10_000,
@@ -111,6 +116,7 @@ func expCostModel() mapred.CostModel {
 
 // controller builds a fresh controller with an overlap scheduler.
 func (r *rig) controller(cfg core.Config) *core.Controller {
+	cfg.DisableCombine = cfg.DisableCombine || r.disableCombine
 	susp := core.NewSuspicionTable(cfg.SuspicionThreshold)
 	r.eng.Sched = core.NewOverlapScheduler(susp)
 	return core.NewController(r.eng, cfg, susp, nil)

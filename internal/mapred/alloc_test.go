@@ -94,3 +94,37 @@ func TestSampleKeepHashMatchesWrapper(t *testing.T) {
 		}
 	}
 }
+
+// TestCombineFoldAllocs pins the combiner's steady-state cost: once a
+// key has its table entry, folding another record with that key is
+// allocation-free — the key projection fills the reusable keyBuf, the
+// canonical encoding lands in the task's scratch buffer, and the probe
+// compares stored keys against raw bytes without materializing a
+// string.
+func TestCombineFoldAllocs(t *testing.T) {
+	jobs, err := compileHelper(followerSrc, CompileOptions{NumReduces: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := jobs[0]
+	if !job.Reduce.Combine {
+		t.Fatal("follower job not marked combinable")
+	}
+	rows := make([]tuple.Tuple, 16)
+	for i := range rows {
+		rows[i] = tuple.Tuple{tuple.Int(int64(i)), tuple.Int(int64(i * 7))}
+	}
+	comb := newCombiner(job.Reduce, &job.Inputs[0], job.NumReduces)
+	scratch := make([]byte, 0, 64)
+	for _, r := range rows { // first sight: entries allocate here, not below
+		scratch = comb.fold(r, job.Inputs[0].KeyCols, scratch)
+	}
+	got := testing.AllocsPerRun(100, func() {
+		for _, r := range rows {
+			scratch = comb.fold(r, job.Inputs[0].KeyCols, scratch)
+		}
+	})
+	if got != 0 {
+		t.Errorf("combiner fold allocs/batch = %v, want 0 on table hits", got)
+	}
+}

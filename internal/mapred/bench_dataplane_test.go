@@ -54,19 +54,22 @@ func benchCompile(b *testing.B, src string, opts CompileOptions) []*JobSpec {
 	return jobs
 }
 
-// benchShuffleRecords runs the map side of a compiled single-reduce job
-// over deterministic input lines and returns the shuffle records feeding
-// reduce partition 0 (NumReduces must be 1 so nothing is lost).
-func benchShuffleRecords(b *testing.B, job *JobSpec, inputs map[int][]string) []interRec {
+// benchShuffleRuns runs the map side of a compiled single-reduce job
+// over deterministic input lines and returns the sorted runs feeding
+// reduce partition 0, one per map task (NumReduces must be 1 so nothing
+// is lost), plus the total record count.
+func benchShuffleRuns(b *testing.B, job *JobSpec, inputs map[int][]string) ([][]interRec, int) {
 	b.Helper()
-	var records []interRec
+	var runs [][]interRec
+	total := 0
 	for idx := range job.Inputs {
 		out := runMapTask(job, idx, inputs[idx], nil, nil, taskObs{})
 		for _, part := range out.partitions {
-			records = append(records, part...)
+			runs = append(runs, part)
+			total += len(part)
 		}
 	}
-	return records
+	return runs, total
 }
 
 func BenchmarkDataplaneCodecEncode(b *testing.B) {
@@ -154,11 +157,50 @@ func BenchmarkDataplaneSampleKeep(b *testing.B) {
 	b.ReportMetric(benchBatch, "records/op")
 }
 
-// BenchmarkDataplaneMapTaskShuffle is the full map hot path of the
-// follower job: decode, filter, key extraction, partitioning.
+// BenchmarkDataplaneMapTaskShuffle is the full uncombined map hot path
+// of the follower job: decode, filter, key extraction, partitioning,
+// run sort.
 func BenchmarkDataplaneMapTaskShuffle(b *testing.B) {
-	job := benchCompile(b, followerSrc, CompileOptions{NumReduces: 4})[0]
+	job := benchCompile(b, followerSrc, CompileOptions{NumReduces: 4, DisableCombine: true})[0]
 	lines := benchEdgeLines()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = runMapTask(job, 0, lines, nil, nil, taskObs{})
+	}
+	b.ReportMetric(benchBatch, "records/op")
+}
+
+// benchHotKeyLines generates benchBatch edge records over 16 distinct
+// keys — the combiner's target regime, where shuffle volume collapses
+// from O(records) to O(keys).
+func benchHotKeyLines() []string {
+	lines := make([]string, benchBatch)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("%d\t%d", i%16, (i*7919+13)%benchBatch)
+	}
+	return lines
+}
+
+// BenchmarkDataplaneMapTaskCombine is the combining map hot path of the
+// follower job at 16 distinct keys: decode, filter, digest-free chain,
+// combiner fold, partial emit, run sort.
+func BenchmarkDataplaneMapTaskCombine(b *testing.B) {
+	job := benchCompile(b, followerSrc, CompileOptions{NumReduces: 4})[0]
+	lines := benchHotKeyLines()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = runMapTask(job, 0, lines, nil, nil, taskObs{})
+	}
+	b.ReportMetric(benchBatch, "records/op")
+}
+
+// BenchmarkDataplaneMapTaskCombineOff is the same workload with the
+// combiner disabled, the baseline for the shuffle-volume comparison.
+func BenchmarkDataplaneMapTaskCombineOff(b *testing.B) {
+	job := benchCompile(b, followerSrc, CompileOptions{NumReduces: 4, DisableCombine: true})[0]
+	lines := benchHotKeyLines()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -186,18 +228,47 @@ STORE p INTO 'out/prod';
 }
 
 func BenchmarkDataplaneReduceAggregate(b *testing.B) {
-	job := benchCompile(b, followerSrc, CompileOptions{NumReduces: 1})[0]
-	records := benchShuffleRecords(b, job, map[int][]string{0: benchEdgeLines()})
-	scratch := make([]interRec, len(records))
+	job := benchCompile(b, followerSrc, CompileOptions{NumReduces: 1, DisableCombine: true})[0]
+	runs, total := benchShuffleRuns(b, job, map[int][]string{0: benchEdgeLines()})
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		copy(scratch, records)
-		if _, err := runReduceTask(job.Reduce, scratch, nil, taskObs{}); err != nil {
+		if _, err := runReduceTask(job.Reduce, runs, nil, taskObs{}); err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(float64(len(records)), "records/op")
+	b.ReportMetric(float64(total), "records/op")
+}
+
+// BenchmarkDataplaneReduceMergeSorted merges combined partial-state
+// runs — the reduce side of the combining path at 16 distinct keys.
+// Input records per op are the map batch, so throughput is comparable
+// against ReduceMergeSortedOff, which merges the uncombined runs of the
+// same map batch.
+func BenchmarkDataplaneReduceMergeSorted(b *testing.B) {
+	job := benchCompile(b, followerSrc, CompileOptions{NumReduces: 1})[0]
+	runs, _ := benchShuffleRuns(b, job, map[int][]string{0: benchHotKeyLines()})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runReduceTask(job.Reduce, runs, nil, taskObs{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(benchBatch, "records/op")
+}
+
+func BenchmarkDataplaneReduceMergeSortedOff(b *testing.B) {
+	job := benchCompile(b, followerSrc, CompileOptions{NumReduces: 1, DisableCombine: true})[0]
+	runs, _ := benchShuffleRuns(b, job, map[int][]string{0: benchHotKeyLines()})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runReduceTask(job.Reduce, runs, nil, taskObs{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(benchBatch, "records/op")
 }
 
 func BenchmarkDataplaneReduceJoin(b *testing.B) {
@@ -207,20 +278,18 @@ b = LOAD 'in/right' AS (user:int, follower:int);
 j = JOIN a BY follower, b BY user;
 STORE j INTO 'out/joined';
 `, CompileOptions{NumReduces: 1})[0]
-	records := benchShuffleRecords(b, job, map[int][]string{
+	runs, total := benchShuffleRuns(b, job, map[int][]string{
 		0: benchEdgeLines(),
 		1: benchEdgeLines(),
 	})
-	scratch := make([]interRec, len(records))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		copy(scratch, records)
-		if _, err := runReduceTask(job.Reduce, scratch, nil, taskObs{}); err != nil {
+		if _, err := runReduceTask(job.Reduce, runs, nil, taskObs{}); err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(float64(len(records)), "records/op")
+	b.ReportMetric(float64(total), "records/op")
 }
 
 func BenchmarkDataplaneReduceDistinct(b *testing.B) {
@@ -228,18 +297,16 @@ func BenchmarkDataplaneReduceDistinct(b *testing.B) {
 a = LOAD 'in/edges' AS (user:int, follower:int);
 d = DISTINCT a;
 STORE d INTO 'out/distinct';
-`, CompileOptions{NumReduces: 1})[0]
-	records := benchShuffleRecords(b, job, map[int][]string{0: benchEdgeLines()})
-	scratch := make([]interRec, len(records))
+`, CompileOptions{NumReduces: 1, DisableCombine: true})[0]
+	runs, total := benchShuffleRuns(b, job, map[int][]string{0: benchEdgeLines()})
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		copy(scratch, records)
-		if _, err := runReduceTask(job.Reduce, scratch, nil, taskObs{}); err != nil {
+		if _, err := runReduceTask(job.Reduce, runs, nil, taskObs{}); err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(float64(len(records)), "records/op")
+	b.ReportMetric(float64(total), "records/op")
 }
 
 func BenchmarkDataplaneReduceSort(b *testing.B) {
@@ -248,17 +315,15 @@ a = LOAD 'in/edges' AS (user:int, follower:int);
 o = ORDER a BY follower DESC, user;
 STORE o INTO 'out/sorted';
 `, CompileOptions{NumReduces: 1})[0]
-	records := benchShuffleRecords(b, job, map[int][]string{0: benchEdgeLines()})
-	scratch := make([]interRec, len(records))
+	runs, total := benchShuffleRuns(b, job, map[int][]string{0: benchEdgeLines()})
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		copy(scratch, records)
-		if _, err := runReduceTask(job.Reduce, scratch, nil, taskObs{}); err != nil {
+		if _, err := runReduceTask(job.Reduce, runs, nil, taskObs{}); err != nil {
 			b.Fatal(err)
 		}
 	}
-	b.ReportMetric(float64(len(records)), "records/op")
+	b.ReportMetric(float64(total), "records/op")
 }
 
 // BenchmarkDataplaneDigestChunked streams the batch through a chunked

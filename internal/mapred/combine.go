@@ -1,0 +1,385 @@
+package mapred
+
+// The combining, sort-merge shuffle data path. Map tasks fold
+// post-digest records into per-partition open-addressing tables keyed by
+// the canonical shuffle key and emit one partial-state record per
+// (partition, key); every partition leaves the map task as a key-sorted
+// run, and the reduce side replaces its global sort with a k-way
+// loser-tree merge over the pre-sorted runs. Verification points digest
+// the pre-shuffle stream inside the map operator chain, before any
+// record reaches a combiner, so the digests — and, by the algebraic
+// restrictions pig.Aggregate.Algebraic enforces — the STORE outputs are
+// byte-identical with combining on or off.
+
+import (
+	"slices"
+	"strings"
+
+	"clusterbft/internal/pig"
+	"clusterbft/internal/tuple"
+)
+
+// aggAcc is the partial state of one aggregate over one group: the
+// record count and the running sum (SUM/AVG) or extremum (MIN/MAX);
+// COUNT uses only n.
+type aggAcc struct {
+	n int64
+	v tuple.Value
+}
+
+// mergeAgg folds one increment into acc — the single aggregation step
+// shared by every code path: the map-side combiner and the combiner-off
+// reduce fold call it with (1, column value) per raw record, the
+// reduce-side partial merge with a task-local (n, v) pair. For SUM the
+// fold is Add(Add(Int(0), v1), v2)... exactly as the pre-combiner
+// implementation computed it, so uncombined results are byte-identical
+// by construction; MIN/MAX keep the first-arriving extremum on Compare
+// ties, which merging task-local extrema in task order preserves.
+func mergeAgg(agg *pig.Aggregate, acc *aggAcc, n int64, v tuple.Value) {
+	switch agg.Func {
+	case "count":
+		// n is the whole state.
+	case "sum", "avg":
+		if acc.n == 0 {
+			acc.v = tuple.Int(0)
+		}
+		acc.v = tuple.Add(acc.v, v)
+	case "min":
+		if acc.n == 0 || tuple.Compare(v, acc.v) < 0 {
+			acc.v = v
+		}
+	case "max":
+		if acc.n == 0 || tuple.Compare(v, acc.v) > 0 {
+			acc.v = v
+		}
+	}
+	acc.n += n
+}
+
+// finalizeAgg turns merged partial state into the output value. AVG is
+// the integer-division determinism workaround of §5.4 over the (sum,
+// count) pair; unknown functions yield null, as the pre-combiner
+// implementation did.
+func finalizeAgg(agg *pig.Aggregate, acc aggAcc) tuple.Value {
+	switch agg.Func {
+	case "count":
+		return tuple.Int(acc.n)
+	case "sum", "min", "max":
+		return acc.v
+	case "avg":
+		return tuple.Div(acc.v, tuple.Int(acc.n))
+	default:
+		return tuple.Null()
+	}
+}
+
+// aggOrdinals lists the generator positions carrying aggregates, in
+// generator order — the layout of partial-state tuples.
+func aggOrdinals(gens []pig.GenItem) []int {
+	var idx []int
+	for i, g := range gens {
+		if g.Agg != nil {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// partialTuple encodes per-aggregate partial state as a flat
+// [n0, v0, n1, v1, ...] tuple, so combined records flow through the
+// same interRec plumbing (and byte accounting) as raw ones.
+func partialTuple(accs []aggAcc) tuple.Tuple {
+	t := make(tuple.Tuple, 2*len(accs))
+	for i, a := range accs {
+		t[2*i] = tuple.Int(a.n)
+		t[2*i+1] = a.v
+	}
+	return t
+}
+
+// partialAcc decodes the i-th aggregate's (n, v) pair from a
+// partial-state tuple.
+func partialAcc(t tuple.Tuple, i int) (int64, tuple.Value) {
+	if 2*i+1 >= len(t) {
+		return 0, tuple.Null()
+	}
+	return t[2*i].Int(), t[2*i+1]
+}
+
+// combiner folds a map task's post-digest output into per-partition
+// open-addressing tables keyed by the canonical shuffle key. Hits cost
+// zero allocations: the key encodes into the task's scratch buffer, the
+// probe compares bytes against stored keys without materializing a
+// string, and only a first-seen key allocates its entry.
+type combiner struct {
+	spec   *ReduceSpec
+	aggs   []*pig.Aggregate // ReduceAggregate: aggregates in generator order
+	tag    int
+	keyBuf tuple.Tuple // reusable key projection, cloned on first sight
+	parts  []combinePart
+}
+
+type combinePart struct {
+	entries []combineEntry
+	slots   []int32 // 1-based indices into entries; 0 = empty
+}
+
+type combineEntry struct {
+	hash   uint64
+	keyStr string
+	key    tuple.Tuple
+	first  tuple.Tuple // ReduceDistinct: first-arriving tuple of the key
+	accs   []aggAcc    // ReduceAggregate: one per aggregate generator
+}
+
+func newCombiner(spec *ReduceSpec, in *JobInput, numParts int) *combiner {
+	c := &combiner{
+		spec:   spec,
+		tag:    in.Tag,
+		keyBuf: make(tuple.Tuple, len(in.KeyCols)),
+		parts:  make([]combinePart, numParts),
+	}
+	for _, i := range aggOrdinals(spec.Gens) {
+		c.aggs = append(c.aggs, spec.Gens[i].Agg)
+	}
+	return c
+}
+
+// fold routes one post-chain tuple into its partition's table, merging
+// into the existing entry when the key was already seen. keyCols is the
+// input's shuffle key projection; scratch is the task's reusable encode
+// buffer, returned possibly grown.
+func (c *combiner) fold(t tuple.Tuple, keyCols []int, scratch []byte) []byte {
+	for i, col := range keyCols {
+		if col < len(t) {
+			c.keyBuf[i] = t[col]
+		} else {
+			c.keyBuf[i] = tuple.Null()
+		}
+	}
+	scratch = tuple.AppendEncoded(scratch[:0], c.keyBuf)
+	h := uint64(fnvOffset64)
+	for _, b := range scratch {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	p := partitionOfBytes(scratch, len(c.parts))
+	e := c.parts[p].find(h, scratch)
+	if e == nil {
+		e = c.parts[p].insert(h, scratch, t, c)
+	}
+	for i, agg := range c.aggs {
+		mergeAgg(agg, &e.accs[i], 1, colOf(t, agg.ColIdx))
+	}
+	return scratch
+}
+
+// partitionOfBytes is partitionOf over the key's encoded bytes — the
+// same FNV-1a fold over the same bytes, so combined and uncombined
+// records of one key always land on the same reduce partition.
+func partitionOfBytes(key []byte, numReduces int) int {
+	if numReduces <= 1 {
+		return 0
+	}
+	h := uint32(fnvOffset32)
+	for _, b := range key {
+		h ^= uint32(b)
+		h *= fnvPrime32
+	}
+	return int(h % uint32(numReduces))
+}
+
+func (p *combinePart) find(h uint64, key []byte) *combineEntry {
+	if len(p.slots) == 0 {
+		return nil
+	}
+	mask := uint64(len(p.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		s := p.slots[i]
+		if s == 0 {
+			return nil
+		}
+		e := &p.entries[s-1]
+		// string(key) in a comparison does not allocate.
+		if e.hash == h && e.keyStr == string(key) {
+			return e
+		}
+	}
+}
+
+func (p *combinePart) insert(h uint64, key []byte, t tuple.Tuple, c *combiner) *combineEntry {
+	if 4*(len(p.entries)+1) > 3*len(p.slots) {
+		p.grow()
+	}
+	e := combineEntry{hash: h, keyStr: string(key), key: c.keyBuf.Clone()}
+	if c.spec.Kind == ReduceDistinct {
+		e.first = t
+	} else {
+		e.accs = make([]aggAcc, len(c.aggs))
+	}
+	p.entries = append(p.entries, e)
+	p.place(h, int32(len(p.entries)))
+	return &p.entries[len(p.entries)-1]
+}
+
+func (p *combinePart) place(h uint64, idx int32) {
+	mask := uint64(len(p.slots) - 1)
+	for i := h & mask; ; i = (i + 1) & mask {
+		if p.slots[i] == 0 {
+			p.slots[i] = idx
+			return
+		}
+	}
+}
+
+func (p *combinePart) grow() {
+	n := 2 * len(p.slots)
+	if n == 0 {
+		n = 16
+	}
+	p.slots = make([]int32, n)
+	for i := range p.entries {
+		p.place(p.entries[i].hash, int32(i+1))
+	}
+}
+
+// emit materializes every partition as interRec records — the distinct
+// key's first-arriving tuple, or the flat partial-state tuple — in
+// table insertion order (first arrival), and returns the partitions
+// with their serialized-byte total. sortRuns orders them afterwards.
+func (c *combiner) emit() ([][]interRec, int64) {
+	parts := make([][]interRec, len(c.parts))
+	var total int64
+	for pi := range c.parts {
+		entries := c.parts[pi].entries
+		if len(entries) == 0 {
+			continue
+		}
+		recs := make([]interRec, len(entries))
+		for i := range entries {
+			e := &entries[i]
+			t := e.first
+			if c.spec.Kind != ReduceDistinct {
+				t = partialTuple(e.accs)
+			}
+			recs[i] = interRec{keyStr: e.keyStr, key: e.key, tag: c.tag, t: t, encLen: tuple.EncodedLen(t)}
+			total += recs[i].bytes()
+		}
+		parts[pi] = recs
+	}
+	return parts, total
+}
+
+// sortRuns stable-sorts each emitted partition into the run order the
+// reduce-side merge expects: by canonical key for grouping kinds, by
+// the ORDER BY comparator for sorts. Stability keeps equal keys in
+// arrival order, so the merge's (key, run, position) emission order is
+// exactly the (key, global arrival) order the previous reduce-side
+// global sort produced. Bare-LIMIT pass-through jobs (ReduceSort with
+// no OrderBy) keep arrival order untouched.
+func sortRuns(parts [][]interRec, spec *ReduceSpec) {
+	if spec == nil {
+		return
+	}
+	if spec.Kind == ReduceSort {
+		if len(spec.OrderBy) == 0 {
+			return
+		}
+		for _, p := range parts {
+			slices.SortStableFunc(p, func(a, b interRec) int {
+				return orderCmp(a.t, b.t, spec.OrderBy)
+			})
+		}
+		return
+	}
+	for _, p := range parts {
+		slices.SortStableFunc(p, func(a, b interRec) int {
+			return strings.Compare(a.keyStr, b.keyStr)
+		})
+	}
+}
+
+// mergeRuns streams the k-way merge of pre-sorted runs through yield in
+// (cmp, run index, position) order, using a loser tree: internal nodes
+// cache the loser of their subtree so re-seating the champion after
+// each pop costs one leaf-to-root comparison path (log k comparisons)
+// instead of a k-wide scan. A nil cmp treats all records as equal, so
+// runs concatenate in run order. Runs are read-only throughout —
+// concurrent reduce attempts may share them.
+func mergeRuns(runs [][]interRec, cmp func(a, b *interRec) int, yield func(*interRec)) {
+	live := make([][]interRec, 0, len(runs))
+	for _, r := range runs {
+		if len(r) > 0 {
+			live = append(live, r)
+		}
+	}
+	k := len(live)
+	switch k {
+	case 0:
+		return
+	case 1:
+		for i := range live[0] {
+			yield(&live[0][i])
+		}
+		return
+	}
+	pos := make([]int, k)
+	head := func(r int32) *interRec {
+		if pos[r] >= len(live[r]) {
+			return nil
+		}
+		return &live[r][pos[r]]
+	}
+	// beats reports whether run a's head is emitted before run b's:
+	// smaller record first, lower run index on ties, exhausted runs
+	// last.
+	beats := func(a, b int32) bool {
+		ha, hb := head(a), head(b)
+		if hb == nil {
+			return ha != nil
+		}
+		if ha == nil {
+			return false
+		}
+		if cmp != nil {
+			if c := cmp(ha, hb); c != 0 {
+				return c < 0
+			}
+		}
+		return a < b
+	}
+	// Heap-shaped tree: leaf r sits at node k+r, internal nodes 1..k-1
+	// hold the loser of their subtree, and the overall winner bubbles
+	// out of the build.
+	tree := make([]int32, k)
+	winner := make([]int32, 2*k)
+	for r := 0; r < k; r++ {
+		winner[k+r] = int32(r)
+	}
+	for j := k - 1; j >= 1; j-- {
+		a, b := winner[2*j], winner[2*j+1]
+		if beats(a, b) {
+			winner[j], tree[j] = a, b
+		} else {
+			winner[j], tree[j] = b, a
+		}
+	}
+	champ := winner[1]
+	for {
+		h := head(champ)
+		if h == nil {
+			return
+		}
+		yield(h)
+		pos[champ]++
+		// Replay the champion's leaf-to-root path: the new head competes
+		// against the cached losers.
+		cur := champ
+		for j := (k + int(champ)) / 2; j >= 1; j /= 2 {
+			if beats(tree[j], cur) {
+				tree[j], cur = cur, tree[j]
+			}
+		}
+		champ = cur
+	}
+}

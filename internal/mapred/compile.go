@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"clusterbft/internal/pig"
+	"clusterbft/internal/tuple"
 )
 
 // CompileOptions parameterize plan compilation.
@@ -18,6 +19,12 @@ type CompileOptions struct {
 	// TempPrefix is the DFS directory receiving intermediate
 	// (between-job) outputs. Defaults to "tmp".
 	TempPrefix string
+	// DisableCombine turns off map-side combining (the -combine=off
+	// escape hatch). Combining is on by default: the compiler only marks
+	// jobs where the combined result is byte-identical to the uncombined
+	// one, so the switch exists for A/B measurement and defense in
+	// depth, not correctness.
+	DisableCombine bool
 }
 
 // Compile lowers a logical plan into a DAG of MapReduce jobs, mirroring
@@ -366,6 +373,7 @@ func (c *compiler) emitShuffleJob(s *pig.Vertex, chain []*pig.Vertex, out *pig.V
 		}
 		fe := chain[0]
 		reduce.Gens = fe.Gens
+		reduce.Combine = !c.opts.DisableCombine && combinableGens(fe.Gens, s.Parents[0].Schema)
 		keyCols := s.GroupCols
 		if s.GroupAll {
 			keyCols = []int{}
@@ -408,6 +416,10 @@ func (c *compiler) emitShuffleJob(s *pig.Vertex, chain []*pig.Vertex, out *pig.V
 		reduce.PostOps = append(reduce.PostOps, post...)
 	case pig.OpDistinct:
 		reduce.Kind = ReduceDistinct
+		// DISTINCT always combines: dedup keyed on the canonical encoding
+		// of the whole tuple keeps the first arrival, and merging
+		// task-local firsts in map-task order preserves the global first.
+		reduce.Combine = !c.opts.DisableCombine
 		keyCols := make([]int, s.Schema.Len())
 		for i := range keyCols {
 			keyCols[i] = i
@@ -434,4 +446,19 @@ func (c *compiler) emitShuffleJob(s *pig.Vertex, chain []*pig.Vertex, out *pig.V
 	}
 	c.jobs = append(c.jobs, job)
 	return job.ID, nil
+}
+
+// combinableGens reports whether every aggregate generator of a grouped
+// FOREACH decomposes into mergeable partial state (pig.Aggregate
+// .Algebraic against the bag schema — the GROUP parent's output, which
+// is exactly the post-chain tuple entering the shuffle). Key
+// expressions are always fine: they only read the group key, which the
+// combiner carries through unchanged.
+func combinableGens(gens []pig.GenItem, bag *tuple.Schema) bool {
+	for _, g := range gens {
+		if g.Agg != nil && !g.Agg.Algebraic(bag) {
+			return false
+		}
+	}
+	return true
 }

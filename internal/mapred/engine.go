@@ -24,6 +24,7 @@ type CostModel struct {
 	MapRecordUs     int64 // per input record in a map task
 	ReduceRecordUs  int64 // per record in or out of a reduce task
 	ShuffleRecordUs int64 // per record written to / read from shuffle
+	CombineRecordUs int64 // per record folded into a map-side combiner
 	DigestRecordUs  int64 // per record folded into a verification digest
 	HeartbeatUs     int64 // task-tracker heartbeat interval (§4.2 step 1)
 	SplitRecords    int   // records per map input split
@@ -39,6 +40,7 @@ func DefaultCostModel() CostModel {
 		MapRecordUs:     4,
 		ReduceRecordUs:  6,
 		ShuffleRecordUs: 1,
+		CombineRecordUs: 1,
 		DigestRecordUs:  1,
 		HeartbeatUs:     200_000,
 		SplitRecords:    10_000,
@@ -56,6 +58,8 @@ type Metrics struct {
 	ReduceTasks       int64
 	RecordsIn         int64
 	RecordsOut        int64
+	ShuffleRecords    int64 // records crossing the shuffle (post-combiner)
+	CombinedRecords   int64 // records folded into map-side combiners
 	DigestRecords     int64
 	JobsCompleted     int64
 	TasksHung         int64 // omission faults observed
@@ -300,6 +304,8 @@ func (e *Engine) InstrumentMetrics(reg *obs.Registry) {
 	reg.Func("mapred.metrics.reduce_tasks", func() int64 { return m.ReduceTasks })
 	reg.Func("mapred.metrics.records_in", func() int64 { return m.RecordsIn })
 	reg.Func("mapred.metrics.records_out", func() int64 { return m.RecordsOut })
+	reg.Func("mapred.metrics.shuffle_records", func() int64 { return m.ShuffleRecords })
+	reg.Func("mapred.metrics.combined_records", func() int64 { return m.CombinedRecords })
 	reg.Func("mapred.metrics.digest_records", func() int64 { return m.DigestRecords })
 	reg.Func("mapred.metrics.jobs_completed", func() int64 { return m.JobsCompleted })
 	reg.Func("mapred.metrics.tasks_hung", func() int64 { return m.TasksHung })
@@ -312,6 +318,8 @@ func (e *Engine) InstrumentMetrics(reg *obs.Registry) {
 		mapRecords:     reg.Counter("mapred.task.map_records"),
 		reduceRecords:  reg.Counter("mapred.task.reduce_records"),
 		shuffleRecords: reg.Counter("mapred.task.shuffle_records"),
+		combineRecords: reg.Counter("mapred.task.combine_records"),
+		mergedRuns:     reg.Counter("mapred.task.merged_runs"),
 		outRecords:     reg.Counter("mapred.task.out_records"),
 	}
 	e.FS.Instrument(reg)
@@ -779,16 +787,27 @@ func (e *Engine) mapBody(t *Task, df digestFactory, corrupt corruptFn) func() bo
 	return func() bodyResult {
 		out := runMapTask(js.Spec, t.InputIdx, lines, df, corrupt, o)
 		inBytes := linesBytes(lines)
+		// Shuffle cost is charged on the post-combiner record count: the
+		// combiner shrinks what crosses the wire and pays CombineRecordUs
+		// per folded record instead. Map-only jobs write recordsOut lines
+		// and are charged the same rate for them.
+		shuffleRecs := out.shuffleRecs
+		if js.Spec.Reduce == nil {
+			shuffleRecs = out.recordsOut
+		}
 		dur := cost.TaskStartupUs +
 			cost.MapRecordUs*out.recordsIn +
 			cost.DigestRecordUs*out.digested +
-			cost.ShuffleRecordUs*out.recordsOut
+			cost.CombineRecordUs*out.combinedIn +
+			cost.ShuffleRecordUs*shuffleRecs
 		commit := func() {
 			e.Metrics.MapTasks++
 			e.Metrics.RecordsIn += out.recordsIn
 			e.Metrics.HDFSBytesRead += inBytes
 			e.Metrics.LocalBytesWritten += out.localBytes
 			e.Metrics.DigestRecords += out.digested
+			e.Metrics.ShuffleRecords += out.shuffleRecs
+			e.Metrics.CombinedRecords += out.combinedIn
 			ord := js.mapOrdinal[t.ID()]
 			js.mapOutcomes[ord] = out
 			js.mapsDone++
@@ -831,27 +850,21 @@ func (e *Engine) reduceBody(t *Task, df digestFactory) func() bodyResult {
 	cost := e.Cost
 	o := e.obsTask
 	return func() bodyResult {
-		total := 0
-		for _, out := range js.mapOutcomes {
-			if out != nil && t.Index < len(out.partitions) {
-				total += len(out.partitions[t.Index])
-			}
-		}
-		// One exact-size allocation; the copy also gives runReduceTask a
-		// slice this attempt owns (grouping sorts it in place, and backup
-		// attempts of the same task must not share it).
-		records := make([]interRec, 0, total)
+		// Each map outcome contributes its partition as one pre-sorted
+		// run; the merge reads runs in place, so attempts (including
+		// backups of the same task) share them without copying.
+		runs := make([][]interRec, 0, len(js.mapOutcomes))
 		var localBytes int64
 		for _, out := range js.mapOutcomes {
 			if out == nil || t.Index >= len(out.partitions) {
 				continue
 			}
-			for _, r := range out.partitions[t.Index] {
-				records = append(records, r)
-				localBytes += r.bytes()
+			runs = append(runs, out.partitions[t.Index])
+			for i := range out.partitions[t.Index] {
+				localBytes += out.partitions[t.Index][i].bytes()
 			}
 		}
-		out, err := runReduceTask(js.Spec.Reduce, records, df, o)
+		out, err := runReduceTask(js.Spec.Reduce, runs, df, o)
 		if err != nil {
 			// Compiled specs cannot produce unknown reduce kinds; treat as a
 			// job with no output rather than crash the simulation.

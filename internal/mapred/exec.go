@@ -2,7 +2,6 @@ package mapred
 
 import (
 	"fmt"
-	"slices"
 	"strings"
 
 	"clusterbft/internal/digest"
@@ -181,17 +180,23 @@ type taskObs struct {
 	mapRecords     *obs.Counter // records read by map tasks
 	reduceRecords  *obs.Counter // records entering reduce tasks
 	shuffleRecords *obs.Counter // records written into shuffle partitions
+	combineRecords *obs.Counter // records folded into map-side combiners
+	mergedRuns     *obs.Counter // sorted runs consumed by reduce merges
 	outRecords     *obs.Counter // records emitted to task output
 }
 
-// mapOutcome carries the effects of one executed map task.
+// mapOutcome carries the effects of one executed map task. For shuffle
+// jobs each partition is a sorted run (sortRuns order); reduce attempts
+// merge the runs read-only, so outcomes may be shared by backups.
 type mapOutcome struct {
-	partitions [][]interRec // shuffle jobs: per-reduce-partition records
-	outLines   []string     // map-only jobs: final output records
-	recordsIn  int64
-	recordsOut int64
-	digested   int64
-	localBytes int64 // shuffle bytes written
+	partitions  [][]interRec // shuffle jobs: per-reduce-partition sorted runs
+	outLines    []string     // map-only jobs: final output records
+	recordsIn   int64
+	recordsOut  int64 // records surviving the operator chain
+	shuffleRecs int64 // records written into shuffle partitions
+	combinedIn  int64 // records folded into the combiner (0 when off)
+	digested    int64
+	localBytes  int64 // shuffle bytes written
 }
 
 // corruptFn tampers tuples at the task source; nil for honest execution.
@@ -204,7 +209,10 @@ func runMapTask(job *JobSpec, inputIdx int, lines []string, df digestFactory, co
 	defer chain.close()
 	out := &mapOutcome{}
 	shuffle := in.KeyCols != nil
-	if shuffle {
+	var comb *combiner
+	if shuffle && job.Reduce != nil && job.Reduce.Combine {
+		comb = newCombiner(job.Reduce, in, job.NumReduces)
+	} else if shuffle {
 		out.partitions = make([][]interRec, job.NumReduces)
 		per := len(lines)/job.NumReduces + 1
 		for p := range out.partitions {
@@ -224,7 +232,12 @@ func runMapTask(job *JobSpec, inputIdx int, lines []string, df digestFactory, co
 			continue
 		}
 		out.recordsOut++
-		if shuffle {
+		switch {
+		case comb != nil:
+			// Digests fired inside the chain above; combining only
+			// reshapes what crosses the shuffle.
+			scratch = comb.fold(t, in.KeyCols, scratch)
+		case shuffle:
 			var keyStr string
 			var key tuple.Tuple
 			keyStr, key, scratch = extractKey(t, in.KeyCols, scratch)
@@ -232,14 +245,25 @@ func runMapTask(job *JobSpec, inputIdx int, lines []string, df digestFactory, co
 			p := partitionOf(keyStr, job.NumReduces)
 			out.partitions[p] = append(out.partitions[p], rec)
 			out.localBytes += rec.bytes()
-		} else {
+		default:
 			scratch = tuple.AppendEncoded(scratch[:0], t)
 			out.outLines = append(out.outLines, string(scratch))
 		}
 	}
 	out.digested = chain.digests
+	if comb != nil {
+		out.combinedIn = out.recordsOut
+		out.partitions, out.localBytes = comb.emit()
+		for _, p := range out.partitions {
+			out.shuffleRecs += int64(len(p))
+		}
+	} else if shuffle {
+		out.shuffleRecs = out.recordsOut
+	}
 	if shuffle {
-		o.shuffleRecords.Add(out.recordsOut)
+		sortRuns(out.partitions, job.Reduce)
+		o.shuffleRecords.Add(out.shuffleRecs)
+		o.combineRecords.Add(out.combinedIn)
 	} else {
 		o.outRecords.Add(out.recordsOut)
 	}
@@ -254,20 +278,28 @@ type reduceOutcome struct {
 	digested   int64
 }
 
-// runReduceTask executes one reduce task over its partition's records,
-// which the caller supplies in deterministic map-task order (the engine's
-// stand-in for the paper's §5.4 "order intermediate output by mapper id"
-// determinism fix). Grouping kinds sort an index permutation by
-// (keyStr, arrival) and walk equal-key runs: keys are visited in sorted
-// order with values in arrival order, exactly the emission order the
-// old map+sort.Strings grouping produced, but with no map churn and no
-// moves of the records themselves (an in-place stable sort of the
-// pointer-heavy interRec spends most of its time in write barriers).
-func runReduceTask(spec *ReduceSpec, records []interRec, df digestFactory, o taskObs) (*reduceOutcome, error) {
+// runReduceTask executes one reduce task over its partition's sorted
+// runs, one per map task in map-ordinal order — the engine's stand-in
+// for the paper's §5.4 "order intermediate output by mapper id"
+// determinism fix. The k-way merge visits records in (key, map ordinal,
+// in-task position) order, which is exactly the (key, global arrival)
+// order the previous reduce-side global sort produced, so every kind
+// streams its groups off the merge with no reduce-side sort and no
+// buffering beyond the current group. Runs are never mutated: backup
+// attempts of the same task merge the same shared runs concurrently.
+func runReduceTask(spec *ReduceSpec, runs [][]interRec, df digestFactory, o taskObs) (*reduceOutcome, error) {
 	chain := newOpChain(spec.PostOps, df)
 	defer chain.close()
-	out := &reduceOutcome{recordsIn: int64(len(records))}
+	out := &reduceOutcome{}
+	var liveRuns int64
+	for _, r := range runs {
+		out.recordsIn += int64(len(r))
+		if len(r) > 0 {
+			liveRuns++
+		}
+	}
 	o.reduceRecords.Add(out.recordsIn)
+	o.mergedRuns.Add(liveRuns)
 	var scratch []byte // per-task encode buffer, reused across emits
 	emit := func(t tuple.Tuple) {
 		if t, ok := chain.apply(t); ok {
@@ -276,99 +308,106 @@ func runReduceTask(spec *ReduceSpec, records []interRec, df digestFactory, o tas
 			out.outLines = append(out.outLines, string(scratch))
 		}
 	}
+	keyCmp := func(a, b *interRec) int { return strings.Compare(a.keyStr, b.keyStr) }
 
 	switch spec.Kind {
 	case ReduceSort:
-		idx := identityOrder(len(records))
+		var cmp func(a, b *interRec) int
 		if len(spec.OrderBy) > 0 {
-			slices.SortFunc(idx, func(a, b int32) int {
-				if c := orderCmp(records[a].t, records[b].t, spec.OrderBy); c != 0 {
-					return c
-				}
-				return int(a - b) // arrival tie-break = stable sort
-			})
+			cmp = func(a, b *interRec) int { return orderCmp(a.t, b.t, spec.OrderBy) }
 		}
-		for _, i := range idx {
-			emit(records[i].t)
-		}
+		mergeRuns(runs, cmp, func(r *interRec) { emit(r.t) })
 	case ReduceDistinct:
-		forEachGroup(records, keyOrder(records), func(group []int32) {
-			emit(records[group[0]].t) // first arrival of each key, keys sorted
+		started := false
+		var lastKey string
+		mergeRuns(runs, keyCmp, func(r *interRec) {
+			if started && r.keyStr == lastKey {
+				return
+			}
+			started = true
+			lastKey = r.keyStr
+			emit(r.t) // first arrival of each key, keys sorted
 		})
 	case ReduceAggregate:
-		forEachGroup(records, keyOrder(records), func(group []int32) {
-			emit(aggregateGroup(spec.Gens, records, group))
-		})
-	case ReduceJoin:
-		forEachGroup(records, keyOrder(records), func(group []int32) {
-			// Split by tag; arrival order within each side is preserved
-			// by the key sort's arrival tie-break.
-			left := 0
-			for _, i := range group {
-				if records[i].tag == 0 {
-					left++
+		aggIdx := aggOrdinals(spec.Gens)
+		accs := make([]aggAcc, len(aggIdx))
+		var curKey tuple.Tuple
+		started := false
+		var lastKey string
+		flush := func() {
+			row := make(tuple.Tuple, len(spec.Gens))
+			ai := 0
+			for i, gen := range spec.Gens {
+				if gen.Agg == nil {
+					row[i] = gen.Expr.Eval(curKey)
+					continue
+				}
+				row[i] = finalizeAgg(gen.Agg, accs[ai])
+				ai++
+			}
+			emit(row)
+		}
+		mergeRuns(runs, keyCmp, func(r *interRec) {
+			if !started || r.keyStr != lastKey {
+				if started {
+					flush()
+				}
+				started = true
+				lastKey = r.keyStr
+				curKey = r.key
+				for i := range accs {
+					accs[i] = aggAcc{}
 				}
 			}
-			sides := make([]tuple.Tuple, len(group))
-			l, r := 0, left
-			for _, i := range group {
-				if records[i].tag == 0 {
-					sides[l] = records[i].t
-					l++
+			for j, gi := range aggIdx {
+				agg := spec.Gens[gi].Agg
+				if spec.Combine {
+					n, v := partialAcc(r.t, j)
+					mergeAgg(agg, &accs[j], n, v)
 				} else {
-					sides[r] = records[i].t
-					r++
+					mergeAgg(agg, &accs[j], 1, colOf(r.t, agg.ColIdx))
 				}
 			}
-			for _, lt := range sides[:left] {
-				for _, rt := range sides[left:] {
+		})
+		if started {
+			flush()
+		}
+	case ReduceJoin:
+		var left, right []tuple.Tuple
+		started := false
+		var lastKey string
+		flush := func() {
+			for _, lt := range left {
+				for _, rt := range right {
 					emit(tuple.Concat(lt, rt))
 				}
 			}
+			left, right = left[:0], right[:0]
+		}
+		mergeRuns(runs, keyCmp, func(r *interRec) {
+			if !started || r.keyStr != lastKey {
+				if started {
+					flush()
+				}
+				started = true
+				lastKey = r.keyStr
+			}
+			// Merge order preserves arrival order within each side.
+			if r.tag == 0 {
+				left = append(left, r.t)
+			} else {
+				right = append(right, r.t)
+			}
 		})
+		if started {
+			flush()
+		}
 	default:
 		return nil, fmt.Errorf("mapred: unknown reduce kind %v", spec.Kind)
 	}
 	out.digested = chain.digests
 	o.outRecords.Add(out.recordsOut)
 	return out, nil
-}
-
-func identityOrder(n int) []int32 {
-	idx := make([]int32, n)
-	for i := range idx {
-		idx[i] = int32(i)
-	}
-	return idx
-}
-
-// keyOrder returns the permutation of records' indices ordered by
-// (keyStr, arrival) — the stable-by-key order (§5.4) — while the
-// records stay put.
-func keyOrder(records []interRec) []int32 {
-	idx := identityOrder(len(records))
-	slices.SortFunc(idx, func(a, b int32) int {
-		if c := strings.Compare(records[a].keyStr, records[b].keyStr); c != 0 {
-			return c
-		}
-		return int(a - b) // arrival tie-break = stable sort
-	})
-	return idx
-}
-
-// forEachGroup walks maximal equal-key runs of the key-sorted
-// permutation idx. Group slices alias idx and are only valid for the
-// call.
-func forEachGroup(records []interRec, idx []int32, fn func(group []int32)) {
-	for start := 0; start < len(idx); {
-		key := records[idx[start]].keyStr
-		end := start + 1
-		for end < len(idx) && records[idx[end]].keyStr == key {
-			end++
-		}
-		fn(idx[start:end])
-		start = end
-	}
 }
 
 // orderCmp compares two tuples under an ORDER BY key list, three-way.
@@ -391,51 +430,6 @@ func orderCmp(a, b tuple.Tuple, keys []pig.OrderKey) int {
 		return c
 	}
 	return 0
-}
-
-// aggregateGroup evaluates one grouped FOREACH row: key expressions over
-// the group key, aggregates over the bag (group indexes records).
-func aggregateGroup(gens []pig.GenItem, records []interRec, group []int32) tuple.Tuple {
-	key := records[group[0]].key
-	out := make(tuple.Tuple, len(gens))
-	for i, gen := range gens {
-		if gen.Agg == nil {
-			out[i] = gen.Expr.Eval(key)
-			continue
-		}
-		out[i] = applyAggregate(gen.Agg, records, group)
-	}
-	return out
-}
-
-func applyAggregate(agg *pig.Aggregate, records []interRec, group []int32) tuple.Value {
-	switch agg.Func {
-	case "count":
-		return tuple.Int(int64(len(group)))
-	case "sum", "avg":
-		sum := tuple.Int(0)
-		for _, i := range group {
-			sum = tuple.Add(sum, colOf(records[i].t, agg.ColIdx))
-		}
-		if agg.Func == "sum" {
-			return sum
-		}
-		// AVG uses the same integer-division determinism workaround as
-		// the paper's prototype (§5.4) when operands are integral.
-		return tuple.Div(sum, tuple.Int(int64(len(group))))
-	case "min", "max":
-		best := colOf(records[group[0]].t, agg.ColIdx)
-		for _, i := range group[1:] {
-			v := colOf(records[i].t, agg.ColIdx)
-			c := tuple.Compare(v, best)
-			if (agg.Func == "min" && c < 0) || (agg.Func == "max" && c > 0) {
-				best = v
-			}
-		}
-		return best
-	default:
-		return tuple.Null()
-	}
 }
 
 func colOf(t tuple.Tuple, idx int) tuple.Value {

@@ -79,6 +79,33 @@ type Aggregate struct {
 	ColIdx int    // column in the pre-group schema; -1 for COUNT(bag)
 }
 
+// Algebraic reports whether the aggregate decomposes into mergeable
+// partial state whose merged result is byte-identical to one sequential
+// fold over the whole bag, so a map-side combiner may pre-aggregate it.
+// COUNT always decomposes (partial counts add). MIN/MAX decompose for
+// any comparable column: the fold keeps the first-arriving extremum on
+// Compare ties, and merging task-local extrema in task order preserves
+// that choice. SUM and AVG decompose into (sum, count) partial state
+// only when the aggregated bag column is declared int: integer addition
+// is associative (including two's-complement wrap-around), while
+// tuple.Add's float fallback reassociates rounding error and would break
+// replica digest comparison. AVG additionally relies on the integer-
+// division finalize (the §5.4 determinism workaround), which consumes
+// exactly the (sum, count) pair. A declared-int column is guaranteed to
+// hold KindInt values because it can only be produced by schema
+// coercion — FOREACH projections always emit untyped (TypeAny) schemas.
+func (a *Aggregate) Algebraic(bag *tuple.Schema) bool {
+	switch a.Func {
+	case "count", "min", "max":
+		return true
+	case "sum", "avg":
+		return bag != nil && a.ColIdx >= 0 && a.ColIdx < len(bag.Fields) &&
+			bag.Fields[a.ColIdx].Type == tuple.TypeInt
+	default:
+		return false
+	}
+}
+
 // GenItem is one GENERATE item of a FOREACH: either a scalar expression
 // (over the parent schema, or over the group key for grouped parents) or
 // an Aggregate. Exactly one of Expr and Agg is set.
