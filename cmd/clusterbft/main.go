@@ -7,7 +7,7 @@
 //	clusterbft -script q.pig -input data/edges=edges.tsv \
 //	    [-f 1] [-r 4] [-points 2] [-nodes 16] [-slots 3] \
 //	    [-d 0] [-final-only] [-faulty node-003:commission:1.0] [-show 20]
-//	    [-explain]
+//	    [-verify-policy=full|quiz|deferred|auto] [-explain]
 //
 // Inputs are tab-separated local files copied into the trusted in-memory
 // DFS at the path the script LOADs. -faulty attaches an adversary to a
@@ -55,6 +55,7 @@ func run() error {
 	slots := flag.Int("slots", 3, "task slots per node")
 	d := flag.Int("d", 0, "digest granularity: records per digest (0: per stream)")
 	finalOnly := flag.Bool("final-only", false, "verify final outputs only (the P baseline)")
+	policyName := flag.String("verify-policy", "full", "verification policy: full, quiz, deferred or auto")
 	show := flag.Int("show", 20, "output records to print per store")
 	explain := flag.Bool("explain", false, "print the replication structure after the run")
 	flag.Parse()
@@ -91,6 +92,10 @@ func run() error {
 	cfg.Points = *points
 	cfg.DigestChunk = *d
 	cfg.VerifyFinalOnly = *finalOnly
+	cfg.VerifyPolicy, err = core.ParsePolicy(*policyName)
+	if err != nil {
+		return err
+	}
 	susp := core.NewSuspicionTable(cfg.SuspicionThreshold)
 	eng := mapred.NewEngine(fs, cl, core.NewOverlapScheduler(susp), mapred.DefaultCostModel())
 	ctrl := core.NewController(eng, cfg, susp, nil)

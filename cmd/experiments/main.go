@@ -2,8 +2,9 @@
 //
 // Usage:
 //
-//	experiments [-exp all|fig9|fig10|table3|fig11|fig12|fig13|fig14|recovery] [-scale small|paper]
-//	            [-combine=on|off] [--trace=run.json] [--metrics]
+//	experiments [-exp all|fig9|fig10|table3|fig11|fig12|fig13|fig14|recovery|verifycost]
+//	            [-scale small|paper] [-combine=on|off] [-verify-policy=full|quiz|deferred|auto]
+//	            [--trace=run.json] [--metrics]
 //
 // Each experiment prints rows shaped like the paper's (§6); see
 // EXPERIMENTS.md for the mapping and the expected shapes. --trace
@@ -17,15 +18,17 @@ import (
 	"fmt"
 	"os"
 
+	"clusterbft/internal/core"
 	"clusterbft/internal/experiments"
 	"clusterbft/internal/mapred"
 	"clusterbft/internal/obs"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig9, fig10, table3, fig11, fig12, fig13, fig14, recovery")
+	exp := flag.String("exp", "all", "experiment: all, fig9, fig10, table3, fig11, fig12, fig13, fig14, recovery, verifycost")
 	scaleName := flag.String("scale", "small", "workload scale: small or paper")
 	combine := flag.String("combine", "on", "map-side combiners: on or off (results are identical either way; latencies differ)")
+	policyName := flag.String("verify-policy", "", "verification policy for every figure's controllers: full, quiz, deferred or auto (default: full)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline here (a .jsonl twin is written next to it)")
 	metrics := flag.Bool("metrics", false, "print the accumulated metrics registry after the experiments")
 	flag.Parse()
@@ -64,6 +67,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "bad -combine %q (want on or off)\n", *combine)
 		os.Exit(2)
 	}
+	policy, err := core.ParsePolicy(*policyName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sc.VerifyPolicy = policy
 
 	runners := []struct {
 		name string
@@ -77,6 +86,7 @@ func main() {
 		{"fig13", func() (string, error) { return experiments.Fig13(sc).Render(), nil }},
 		{"fig14", func() (string, error) { r, err := experiments.Fig14(sc); return render(r, err) }},
 		{"recovery", func() (string, error) { r, err := experiments.Recovery(); return render(r, err) }},
+		{"verifycost", func() (string, error) { r, err := experiments.VerifyCost(sc); return render(r, err) }},
 	}
 
 	matched := false

@@ -21,6 +21,9 @@
 //
 // Both print the schedule(s), recovery actions and invariant outcomes;
 // the same seed always reproduces the same report byte-for-byte.
+// -verify-policy=full|quiz|deferred|auto runs the campaign's controllers
+// under that verification policy (quiz/deferred sample at fraction 1 so
+// every commission fault is quizzable).
 package main
 
 import (
@@ -32,6 +35,7 @@ import (
 	"clusterbft/internal/analyze"
 	"clusterbft/internal/chaos"
 	"clusterbft/internal/cluster"
+	"clusterbft/internal/core"
 	"clusterbft/internal/faultsim"
 	"clusterbft/internal/obs"
 )
@@ -48,12 +52,22 @@ func main() {
 	metrics := flag.Bool("metrics", false, "print run counters as a metrics registry snapshot")
 	chaosRun := flag.Bool("chaos", false, "run one seeded fault-injection schedule end-to-end (uses -seed)")
 	campaign := flag.Int("campaign", 0, "run N seeded fault-injection schedules with invariant checks (uses -seed as base)")
+	policyName := flag.String("verify-policy", "full", "chaos-mode verification policy: full, quiz, deferred or auto")
 	flag.Parse()
 
 	if *chaosRun || *campaign > 0 {
+		policy, err := core.ParsePolicy(*policyName)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(2)
+		}
 		cfg := chaos.DefaultCampaign()
 		cfg.BaseSeed = *seed
 		cfg.Schedules = *campaign
+		cfg.Core.VerifyPolicy = policy
+		if policy != core.PolicyFull {
+			cfg.Core.QuizFraction = 1
+		}
 		if *chaosRun && *campaign <= 0 {
 			cfg.Schedules = 1
 		}

@@ -5,8 +5,12 @@
 // Usage:
 //
 //	pigrun -script q.pig -input data/edges=edges.tsv [-nodes 8] [-slots 3] [-show 20]
-//	       [-combine=on|off] [--trace=run.json] [--metrics]
+//	       [-combine=on|off] [-verify-policy=full|quiz|deferred|auto]
+//	       [--trace=run.json] [--metrics]
 //
+// -verify-policy leaves the baseline but runs the script under the BFT
+// controller with the given verification policy, so the same command
+// line can A/B the pure cost against each policy's 1+ε overhead.
 // --trace writes a Chrome trace_event JSON timeline (loadable in
 // chrome://tracing or Perfetto) plus a deterministic JSONL twin;
 // --metrics prints the full metrics registry after the run.
@@ -20,6 +24,7 @@ import (
 	"strings"
 
 	"clusterbft/internal/cluster"
+	"clusterbft/internal/core"
 	"clusterbft/internal/dfs"
 	"clusterbft/internal/mapred"
 	"clusterbft/internal/obs"
@@ -46,6 +51,7 @@ func run() error {
 	slots := flag.Int("slots", 3, "task slots per node")
 	reduces := flag.Int("reduces", 2, "reduce parallelism")
 	combine := flag.String("combine", "on", "map-side combiners: on or off (outputs are identical either way)")
+	policyName := flag.String("verify-policy", "", "run under the BFT controller with this verification policy: full, quiz, deferred or auto (default: no verification)")
 	show := flag.Int("show", 20, "output records to print per store")
 	explain := flag.Bool("explain", false, "print the logical plan and compiled jobs, then exit")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline here (a .jsonl twin is written next to it)")
@@ -65,6 +71,10 @@ func run() error {
 	}
 	if *combine != "on" && *combine != "off" {
 		return fmt.Errorf("bad -combine %q (want on or off)", *combine)
+	}
+	policy, err := core.ParsePolicy(*policyName)
+	if err != nil {
+		return err
 	}
 	jobs, err := mapred.Compile(plan, mapred.CompileOptions{
 		NumReduces:     *reduces,
@@ -124,27 +134,50 @@ func run() error {
 		tracer.EnableWallClock(obs.WallUnixMicros)
 		eng.Trace = tracer
 	}
-	states := make([]*mapred.JobState, 0, len(jobs))
-	for _, j := range jobs {
-		js, err := eng.Submit(j)
+	// outPath maps a STORE path to where its records actually live: the
+	// script's own path on the baseline, the controller's verified copy
+	// under -verify-policy.
+	outPath := func(store string) string { return store }
+
+	if *policyName != "" {
+		cfg := core.DefaultConfig()
+		cfg.VerifyPolicy = policy
+		cfg.NumReduces = *reduces
+		cfg.DisableCombine = *combine == "off"
+		susp := core.NewSuspicionTable(cfg.SuspicionThreshold)
+		eng.Sched = core.NewOverlapScheduler(susp)
+		ctrl := core.NewController(eng, cfg, susp, nil)
+		res, err := ctrl.Run(string(src))
 		if err != nil {
 			return err
 		}
-		states = append(states, js)
-	}
-	eng.Run()
+		fmt.Printf("verified: %v (policy %s)   latency: %.2fs (virtual)   cpu: %.2fs   quizzes: %d\n",
+			res.Verified, policy, float64(res.LatencyUs)/1e6,
+			float64(res.Metrics.CPUTimeUs)/1e6, eng.QuizTasks)
+		outPath = func(store string) string { return res.Outputs[store] }
+	} else {
+		states := make([]*mapred.JobState, 0, len(jobs))
+		for _, j := range jobs {
+			js, err := eng.Submit(j)
+			if err != nil {
+				return err
+			}
+			states = append(states, js)
+		}
+		eng.Run()
 
-	var makespan int64
-	for _, js := range states {
-		if !js.Done {
-			return fmt.Errorf("job %s did not complete", js.Spec.ID)
+		var makespan int64
+		for _, js := range states {
+			if !js.Done {
+				return fmt.Errorf("job %s did not complete", js.Spec.ID)
+			}
+			if js.DoneTime > makespan {
+				makespan = js.DoneTime
+			}
 		}
-		if js.DoneTime > makespan {
-			makespan = js.DoneTime
-		}
+		fmt.Printf("latency: %.2fs (virtual)   cpu: %.2fs   jobs: %d\n",
+			float64(makespan)/1e6, float64(eng.Metrics.CPUTimeUs)/1e6, eng.Metrics.JobsCompleted)
 	}
-	fmt.Printf("latency: %.2fs (virtual)   cpu: %.2fs   jobs: %d\n",
-		float64(makespan)/1e6, float64(eng.Metrics.CPUTimeUs)/1e6, eng.Metrics.JobsCompleted)
 
 	if tracer != nil {
 		twin, err := obs.WriteTraceFiles(tracer, *traceFile)
@@ -159,7 +192,7 @@ func run() error {
 	}
 
 	for _, st := range plan.Stores() {
-		lines, err := fs.ReadTree(st.Path)
+		lines, err := fs.ReadTree(outPath(st.Path))
 		if err != nil {
 			return err
 		}

@@ -41,6 +41,11 @@ const (
 	// AuditScore: a node's suspicion level crossed into a different
 	// category (none/low/med/high, §6.3).
 	AuditScore
+	// AuditEscalate: a sub-graph running a cheap verification policy
+	// (quiz/deferred) produced fault evidence — quiz digest mismatch or
+	// storage-boundary conflict — and was re-initiated at full
+	// replication. The detail names the sub-graph and the evidence.
+	AuditEscalate
 )
 
 // String names the kind for timelines.
@@ -62,6 +67,8 @@ func (k AuditKind) String() string {
 		return "conviction"
 	case AuditScore:
 		return "score"
+	case AuditEscalate:
+		return "escalate"
 	default:
 		return "audit(?)"
 	}

@@ -56,6 +56,15 @@ type Config struct {
 	// SuspicionThreshold evicts nodes from the inclusion list (§4.2);
 	// <= 0 disables eviction.
 	SuspicionThreshold float64
+	// VerifyPolicy selects how sub-graphs are verified: PolicyFull (the
+	// zero value behaves as full) replicates r times, PolicyQuiz and
+	// PolicyDeferred run one primary at "1+ε" cost, and PolicyAuto picks
+	// per sub-graph from suspicion history. See policy.go.
+	VerifyPolicy Policy
+	// QuizFraction is the fraction of a primary's tasks re-executed as
+	// quizzes under PolicyQuiz/PolicyDeferred; <= 0 defaults to 0.25 and
+	// values above 1 are clamped. At least one task is always quizzed.
+	QuizFraction float64
 }
 
 // DefaultConfig mirrors the paper's common setup: f=1, full BFT
@@ -141,6 +150,19 @@ type clusterState struct {
 	winnerFP    digest.Sum
 	sources     map[int]sourceRef
 	replicas    []*repState
+
+	// policy is the verification policy resolved at first launch (see
+	// decidePolicy); escalation rewrites it to PolicyFull.
+	policy Policy
+	// quizPending counts quiz re-executions still running for the current
+	// attempt; quizFailed latches the first mismatch so stragglers don't
+	// escalate twice.
+	quizPending int
+	quizFailed  bool
+	// staleSids holds superseded attempts' sids; their matcher/engine
+	// state is swept once the sub-graph verifies (after the downstream
+	// restart decisions, which still fingerprint old source sids).
+	staleSids []string
 }
 
 // Controller is the trusted control tier: request handler + verifier +
@@ -156,7 +178,9 @@ type Controller struct {
 	// OnRecovery, when set, observes the controller's lifecycle decisions
 	// for each sub-graph: "launch", "verify", "retry" (timeout or
 	// no-agreement re-initiation at r+1), "restart" (deviant optimistic
-	// source) and "fail" (MaxAttempts exhausted). The attempt argument is
+	// source), "escalate" (quiz or storage-boundary evidence revoking a
+	// quiz/deferred policy — always followed by a retry or restart) and
+	// "fail" (MaxAttempts exhausted). The attempt argument is
 	// the sub-graph's total launch count so far. Nil costs nothing; chaos
 	// campaigns and the recovery-latency experiment tabulate it.
 	OnRecovery func(action string, cluster, attempt int)
@@ -186,6 +210,15 @@ func NewController(eng *mapred.Engine, cfg Config, susp *SuspicionTable, fa *Fau
 	}
 	if cfg.Model == 0 {
 		cfg.Model = analyze.Weak
+	}
+	if cfg.VerifyPolicy == 0 {
+		cfg.VerifyPolicy = PolicyFull
+	}
+	if cfg.QuizFraction <= 0 {
+		cfg.QuizFraction = 0.25
+	}
+	if cfg.QuizFraction > 1 {
+		cfg.QuizFraction = 1
 	}
 	if susp == nil {
 		susp = NewSuspicionTable(cfg.SuspicionThreshold)
@@ -217,7 +250,10 @@ func (c *Controller) Run(script string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	points := c.choosePoints(plan)
+	points, err := c.choosePoints(plan)
+	if err != nil {
+		return nil, err
+	}
 	jobs, err := mapred.Compile(plan, mapred.CompileOptions{
 		Points:         points,
 		NumReduces:     c.Cfg.NumReduces,
@@ -236,6 +272,10 @@ func (c *Controller) Run(script string) (*Result, error) {
 		}
 	}
 	c.Eng.Run()
+	// Sweep every remaining attempt's verifier and engine state: digest
+	// vectors, scheduler affinity and job records are request-scoped, and
+	// a controller serving a stream of Runs must not accumulate them.
+	c.teardownRun()
 	if c.runErr != nil {
 		return nil, c.runErr
 	}
@@ -274,8 +314,11 @@ func (c *Controller) Run(script string) (*Result, error) {
 
 // choosePoints runs the graph analyzer. Final outputs are always
 // verified; VerifyFinalOnly stops there (the P baseline), otherwise the
-// marker function adds the client's n points (§4.1).
-func (c *Controller) choosePoints(plan *pig.Plan) []int {
+// marker function adds the client's n points (§4.1). A forced alias
+// that names no relation in the plan is a configuration error: silently
+// skipping it would run the script with fewer verification points than
+// the client asked for.
+func (c *Controller) choosePoints(plan *pig.Plan) ([]int, error) {
 	set := make(map[int]bool)
 	for _, st := range plan.Stores() {
 		set[st.Parents[0].ID] = true
@@ -285,9 +328,11 @@ func (c *Controller) choosePoints(plan *pig.Plan) []int {
 		// final outputs only (the P / Full baselines)
 	case len(c.Cfg.ForcePointAliases) > 0:
 		for _, alias := range c.Cfg.ForcePointAliases {
-			if v := plan.ByAlias(alias); v != nil {
-				set[v.ID] = true
+			v := plan.ByAlias(alias)
+			if v == nil {
+				return nil, fmt.Errorf("core: forced verification point %q names no relation in the script", alias)
 			}
+			set[v.ID] = true
 		}
 	case c.Cfg.Points < 0:
 		a := analyze.Analyze(plan, c.sizeOf)
@@ -312,7 +357,7 @@ func (c *Controller) choosePoints(plan *pig.Plan) []int {
 		out = append(out, p)
 	}
 	sort.Ints(out)
-	return out
+	return out, nil
 }
 
 func (c *Controller) sizeOf(path string) int64 {
@@ -445,10 +490,25 @@ func (c *Controller) tryLaunch(cs *clusterState) {
 	if cs.launched || cs.verified || cs.failed || !c.sourcesReady(cs) {
 		return
 	}
+	if cs.policy == 0 {
+		cs.policy = c.decidePolicy()
+		if cs.policy != PolicyFull {
+			// Healthy history: one primary replica; verification comes
+			// from quiz re-execution and storage-boundary audits.
+			cs.r = 1
+		}
+	}
 	cs.launched = true
 	cs.launchedAtV = c.Eng.Now()
 	cs.totalTries++
 	c.attempts++
+	cs.quizPending = 0
+	cs.quizFailed = false
+	if cs.sid != "" {
+		// The superseded attempt's digests are still needed for the
+		// downstream restart decisions at verification; sweep then.
+		cs.staleSids = append(cs.staleSids, cs.sid)
+	}
 	cs.sid = fmt.Sprintf("run%d-c%d-a%d", c.runSeq, cs.id, cs.attempt)
 	c.sidIndex[cs.sid] = cs
 	cs.sources = make(map[int]sourceRef)
@@ -510,6 +570,10 @@ func (c *Controller) rewriteJob(cs *clusterState, rs *repState, tmpl *mapred.Job
 	spec.SID = cs.sid
 	spec.Replica = rs.idx
 	spec.Output = rs.prefix + "/" + tmpl.Output
+	// Quiz/deferred attempts carry audit digests: per-task pre-combine
+	// sums quizzes are checked against, plus storage-boundary in/out sums
+	// that pin what actually crossed the untrusted DFS.
+	spec.Audit = cs.policy != PolicyFull
 	var deps []string
 	for _, d := range tmpl.Deps {
 		if c.clusterOf[d] == cs.id {
@@ -525,6 +589,7 @@ func (c *Controller) rewriteJob(cs *clusterState, rs *repState, tmpl *mapred.Job
 		if !ok {
 			continue // raw script input from trusted storage
 		}
+		spec.Inputs[i].AuditIn = spec.Audit
 		if c.clusterOf[prod] == cs.id {
 			spec.Inputs[i].Path = rs.prefix + "/" + path
 		} else {
@@ -583,14 +648,17 @@ func (c *Controller) ClusterStates() []ClusterStatus {
 // runs the approximate online comparison (§3.3): as soon as f+1 replicas
 // agree on a chunk, any replica reporting a different sum for it is a
 // commission fault — detected before the sub-job completes, and even if
-// that replica is later cancelled.
+// that replica is later cancelled. Reports from superseded attempts
+// (stragglers killed by a retry, racing their cancellation) are dropped
+// before touching the matcher: storing them would silently regrow state
+// for sids the Forget sweep already reclaimed.
 func (c *Controller) onDigest(r digest.Report) {
-	c.reports++
-	c.matcher.Add(r)
 	cs := c.sidIndex[r.Key.SID]
 	if cs == nil || cs.sid != r.Key.SID {
 		return
 	}
+	c.reports++
+	c.matcher.Add(r)
 	for _, rep := range c.matcher.KeyDeviants(cs.sid) {
 		if rep < len(cs.replicas) {
 			c.markFaulty(cs, cs.replicas[rep])
@@ -628,11 +696,16 @@ func (c *Controller) onJobDone(js *mapred.JobState) {
 	}
 }
 
-// checkVerify applies the offline comparison rule: f+1 completed replicas
-// with identical digest vectors verify the sub-graph; deviants are
-// commission faults (§4.1, §4.3).
+// checkVerify applies the verification rule for the sub-graph's policy.
+// Full: f+1 completed replicas with identical digest vectors verify the
+// sub-graph; deviants are commission faults (§4.1, §4.3). Quiz/deferred
+// delegate to checkVerifyPolicy.
 func (c *Controller) checkVerify(cs *clusterState) {
 	if cs.verified {
+		return
+	}
+	if cs.policy == PolicyQuiz || cs.policy == PolicyDeferred {
+		c.checkVerifyPolicy(cs)
 		return
 	}
 	var completed []int
@@ -650,10 +723,17 @@ func (c *Controller) checkVerify(cs *clusterState) {
 		}
 		return
 	}
+	c.markVerified(cs, majority[0], deviants)
+}
+
+// markVerified finalizes a sub-graph: records the winner, punishes
+// deviants, frees unfinished replicas, propagates downstream and sweeps
+// superseded attempts' verifier state.
+func (c *Controller) markVerified(cs *clusterState, winner int, deviants []int) {
 	cs.verified = true
 	cs.verifiedAt = c.Eng.Now()
 	c.notify("verify", cs)
-	cs.winner = majority[0]
+	cs.winner = winner
 	cs.winnerFP = c.matcher.Fingerprint(cs.sid, cs.winner)
 	c.Eng.Trace.Record("verify", "verifier", cs.sid, cs.launchedAtV, cs.verifiedAt,
 		obs.AI("winner", int64(cs.winner)), obs.AI("deviants", int64(len(deviants))))
@@ -677,6 +757,228 @@ func (c *Controller) checkVerify(cs *clusterState) {
 			c.restart(d)
 		}
 		c.tryLaunch(d)
+	}
+	// The restart decisions above were the last readers of superseded
+	// attempts' digest vectors (sourceMatchesWinner fingerprints old
+	// source sids); reclaim them now.
+	for _, sid := range cs.staleSids {
+		c.forgetSID(sid)
+	}
+	cs.staleSids = nil
+}
+
+// quizReplica is the replica index quiz re-executions report under; the
+// primary is always 0 under quiz/deferred (r=1), and keeping quizzes at
+// a fixed non-zero index lets the matcher compare the two vectors with
+// the machinery it already has. The online KeyDeviants pass never sees
+// an f+1 class among {primary, quiz} with f >= 1, so quiz evidence is
+// judged only by QuizAgrees.
+const quizReplica = 1
+
+// checkVerifyPolicy runs when the primary replica of a quiz/deferred
+// sub-graph completes: audit the storage boundaries, then either verify
+// optimistically (deferred) or hold verification until the quiz set
+// agrees (quiz). Any mismatch escalates to full replication.
+func (c *Controller) checkVerifyPolicy(cs *clusterState) {
+	rs := cs.replicas[0]
+	if !rs.completed {
+		return
+	}
+	if rs.faulty {
+		// Flagged before completion (e.g. by a downstream conflict);
+		// don't verify a known-bad primary.
+		c.escalate(cs, "primary replica flagged during execution")
+		return
+	}
+	clean, badUpstreams := c.auditIO(cs)
+	if len(badUpstreams) > 0 {
+		// Our io-in digest conflicts with what an upstream primary
+		// claimed to have stored: the *upstream* output is suspect
+		// (its storage write or its deferred verification). Escalating
+		// it restarts the cascade, which tears this attempt down too.
+		for _, u := range badUpstreams {
+			c.markFaulty(u, u.replicas[0])
+			c.escalate(u, fmt.Sprintf("downstream sub-graph c%d read data conflicting with the stored-output digest", cs.id))
+		}
+		return
+	}
+	if !clean {
+		// In-cluster boundary mismatch: what a job read back from the
+		// DFS is not what the producing job claims to have written.
+		c.markFaulty(cs, rs)
+		c.escalate(cs, "storage boundary digest mismatch")
+		return
+	}
+	if cs.policy == PolicyDeferred {
+		// Optimistic: downstream proceeds now; quizzes may still revoke.
+		c.markVerified(cs, 0, nil)
+	}
+	c.startQuiz(cs)
+	if cs.quizPending == 0 && !cs.verified && !cs.failed && cs.launched {
+		// Nothing quizzable (empty sub-graph) — boundary audits are the
+		// only evidence available, and they passed.
+		c.markVerified(cs, 0, nil)
+	}
+}
+
+// auditIO cross-checks storage-boundary audit digests for the primary of
+// an audited sub-graph. In-cluster: each consumed input's io-in digest
+// must equal the producing job's io-out digest (clean=false otherwise).
+// Cross-cluster: the io-in digest must equal the io-out digest the
+// source replica reported under its own sid; a conflict implicates the
+// upstream, returned in badUpstreams. Pairs where either side is absent
+// (unaudited upstream policy, raw script inputs) are skipped.
+func (c *Controller) auditIO(cs *clusterState) (clean bool, badUpstreams []*clusterState) {
+	clean = true
+	blamed := make(map[int]bool)
+	for _, tmpl := range cs.jobs {
+		for i := range tmpl.Inputs {
+			prod, produced := c.producedBy[tmpl.Inputs[i].Path]
+			if !produced {
+				continue
+			}
+			inKey := digest.Key{SID: cs.sid, Point: mapred.AuditIOInPoint,
+				Task: fmt.Sprintf("%s/in%d", tmpl.ID, i)}
+			inSum, haveIn := c.matcher.Lookup(cs.sid, 0, inKey)
+			if !haveIn {
+				continue
+			}
+			pc := c.clusterOf[prod]
+			if pc == cs.id {
+				outKey := digest.Key{SID: cs.sid, Point: mapred.AuditIOOutPoint, Task: prod}
+				outSum, haveOut := c.matcher.Lookup(cs.sid, 0, outKey)
+				if haveOut && outSum != inSum {
+					clean = false
+				}
+				continue
+			}
+			src, haveSrc := cs.sources[pc]
+			if !haveSrc || src.replica < 0 {
+				continue
+			}
+			outKey := digest.Key{SID: src.sid, Point: mapred.AuditIOOutPoint, Task: prod}
+			outSum, haveOut := c.matcher.Lookup(src.sid, src.replica, outKey)
+			if haveOut && outSum != inSum && !blamed[pc] {
+				blamed[pc] = true
+				badUpstreams = append(badUpstreams, c.clusters[pc])
+			}
+		}
+	}
+	return clean, badUpstreams
+}
+
+// startQuiz samples the primary's committed tasks and re-executes each on
+// the trusted tier; the recomputed digests flow back through onDigest
+// tagged as quizReplica. Sampling never leaves a sub-graph unquizzed: if
+// the draw comes up empty, the terminal job's first task is quizzed.
+func (c *Controller) startQuiz(cs *clusterState) {
+	rs := cs.replicas[0]
+	sid := cs.sid
+	type pick struct{ jobID, tid string }
+	var picks []pick
+	for ji := range cs.jobs {
+		js := c.Eng.Job(rs.jobIDs[ji])
+		if js == nil || !js.Done {
+			continue
+		}
+		for _, tid := range js.TaskIDs() {
+			if quizPick(sid, cs.jobs[ji].ID, tid, c.Cfg.QuizFraction) {
+				picks = append(picks, pick{rs.jobIDs[ji], tid})
+			}
+		}
+	}
+	if len(picks) == 0 && len(rs.jobIDs) > 0 {
+		last := rs.jobIDs[len(rs.jobIDs)-1]
+		if js := c.Eng.Job(last); js != nil && js.Done {
+			if tids := js.TaskIDs(); len(tids) > 0 {
+				picks = append(picks, pick{last, tids[0]})
+			}
+		}
+	}
+	for _, p := range picks {
+		err := c.Eng.Requiz(p.jobID, p.tid, quizReplica, c.onDigest,
+			func() { c.onQuizDone(cs, sid) })
+		if err != nil {
+			c.fail(fmt.Errorf("core: quiz %s/%s: %w", p.jobID, p.tid, err))
+			return
+		}
+		cs.quizPending++
+	}
+}
+
+// onQuizDone fires as each quiz re-execution commits its digests.
+func (c *Controller) onQuizDone(cs *clusterState, sid string) {
+	if cs.sid != sid || cs.failed {
+		return // quiz of a superseded attempt straggling in
+	}
+	cs.quizPending--
+	if cs.quizFailed {
+		return // already escalated on an earlier quiz of this attempt
+	}
+	if !c.matcher.QuizAgrees(sid, 0, quizReplica) {
+		// A trusted re-execution of the primary's own task, against the
+		// primary's own stored inputs, produced different records: the
+		// primary computed wrongly (commission), and with r=1 there is
+		// no honest majority to fall back on — rerun at full r.
+		cs.quizFailed = true
+		c.markFaulty(cs, cs.replicas[0])
+		c.escalate(cs, "quiz re-execution digest mismatch")
+		return
+	}
+	if cs.quizPending == 0 && cs.policy == PolicyQuiz && !cs.verified {
+		c.markVerified(cs, 0, nil)
+	}
+}
+
+// escalate abandons the cheap policy for a sub-graph that produced fault
+// evidence and reruns it under full replication. An already-verified
+// (deferred) sub-graph is revoked via the restart cascade so consumers
+// of its optimistic output are torn down with it; an unverified one goes
+// through the ordinary retry machinery.
+func (c *Controller) escalate(cs *clusterState, detail string) {
+	if cs.failed {
+		return
+	}
+	c.audit.Add(analyze.AuditEscalate, nil,
+		fmt.Sprintf("sub-graph c%d (%s) escalated to full replication: %s", cs.id, cs.sid, detail))
+	c.notify("escalate", cs)
+	if cs.verified {
+		cs.policy = PolicyFull
+		if cs.r < c.Cfg.R {
+			cs.r = c.Cfg.R
+		}
+		c.restart(cs)
+		return
+	}
+	c.retry(cs, false)
+}
+
+// forgetSID reclaims every trace of one sub-graph attempt: the verifier's
+// digest vectors, the controller's sid index and the engine's job and
+// scheduler-affinity records.
+func (c *Controller) forgetSID(sid string) {
+	c.matcher.Forget(sid)
+	delete(c.sidIndex, sid)
+	c.Eng.ForgetSID(sid)
+}
+
+// teardownRun sweeps all remaining attempts after the simulation drains;
+// verified winners' outputs live in the DFS, so nothing referenced by
+// Result is touched.
+func (c *Controller) teardownRun() {
+	sids := make([]string, 0, len(c.sidIndex))
+	for sid := range c.sidIndex {
+		sids = append(sids, sid)
+	}
+	sort.Strings(sids)
+	for _, sid := range sids {
+		c.forgetSID(sid)
+	}
+	for _, cs := range c.clusters {
+		for _, sid := range cs.staleSids {
+			c.forgetSID(sid)
+		}
+		cs.staleSids = nil
 	}
 }
 
@@ -759,7 +1061,18 @@ func (c *Controller) retry(cs *clusterState, omission bool) {
 		return
 	}
 	cs.attempt++
-	cs.r++
+	if cs.policy == PolicyQuiz || cs.policy == PolicyDeferred {
+		// The cheap policy saw fault evidence (or timed out): rerun at
+		// full replication before growing r beyond the configured degree.
+		cs.policy = PolicyFull
+		if cs.r < c.Cfg.R {
+			cs.r = c.Cfg.R
+		} else {
+			cs.r++
+		}
+	} else {
+		cs.r++
+	}
 	cs.timeoutUs *= 2
 	cs.launched = false
 	c.notify("retry", cs)

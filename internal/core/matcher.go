@@ -176,3 +176,33 @@ func (m *Matcher) KeyDeviants(sid string) []int {
 func (m *Matcher) Forget(sid string) {
 	delete(m.bySID, sid)
 }
+
+// SIDs returns how many sub-graph attempts currently hold digest state;
+// lifecycle tests pin it to prove the controller's Forget sweep bounds
+// matcher growth across retries and repeated runs.
+func (m *Matcher) SIDs() int { return len(m.bySID) }
+
+// Lookup returns the sum a replica reported for one exact key under sid.
+func (m *Matcher) Lookup(sid string, replica int, key digest.Key) (digest.Sum, bool) {
+	s, ok := m.bySID[sid][replica][key]
+	return s, ok
+}
+
+// QuizAgrees checks quiz evidence against the primary: every digest the
+// quiz replica filed under sid (the re-executed tasks' chunk digests and
+// audit output digests — nothing else, since quizzes only run sampled
+// tasks) must have been reported with an identical sum by the primary
+// replica. A key the primary never reported counts as disagreement: the
+// quiz re-derived a stream the primary hid or chunked differently, and
+// the always-emitted final chunk makes a shorter honest stream produce a
+// missing-key mismatch rather than silence.
+func (m *Matcher) QuizAgrees(sid string, primary, quiz int) bool {
+	prim := m.bySID[sid][primary]
+	for k, qs := range m.bySID[sid][quiz] {
+		ps, ok := prim[k]
+		if !ok || ps != qs {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Policy selects how a sub-graph's execution is verified. The classic
+// ClusterBFT mode replicates every sub-graph r times and matches f+1
+// digest vectors; the quiz and deferred policies trade that worst-case
+// replication for "1+ε" cost on healthy clusters, escalating back to
+// full replication the moment evidence of a fault appears. The ideas
+// follow the partial re-execution literature (quiz tasks re-executed
+// against recorded inter-stage data; single execution with escalate-on-
+// mismatch) composed with this repo's existing digest machinery:
+// digests are taken before combining and before storage, so a single
+// re-executed task or a storage-boundary stream is directly comparable
+// without replaying the whole sub-graph.
+type Policy uint8
+
+// Verification policies.
+const (
+	// PolicyFull is today's behavior: r replicas, f+1 digest agreement.
+	PolicyFull Policy = iota + 1
+	// PolicyQuiz runs one primary replica and verifies it by re-executing
+	// a sampled set of its tasks ("quizzes") on the trusted tier; the
+	// recomputed digests must match the primary's reported ones, and the
+	// storage-boundary audit digests must be self-consistent. Any
+	// mismatch escalates to full replication via the retry machinery.
+	PolicyQuiz
+	// PolicyDeferred runs one primary replica and verifies it
+	// optimistically at completion (downstream work proceeds
+	// immediately); quizzes still run and a quiz mismatch — or a
+	// downstream sub-graph observing a digest conflict on the shared
+	// boundary — revokes the verification and escalates to full
+	// replication with a restart cascade.
+	PolicyDeferred
+	// PolicyAuto lets the graph analyzer choose per sub-graph from
+	// suspicion history: any Med/High-suspicion node still on the
+	// inclusion list forces PolicyFull, a Low-suspicion history picks
+	// PolicyQuiz, and a clean cluster runs PolicyDeferred.
+	PolicyAuto
+)
+
+// String names the policy with the CLI flag spelling.
+func (p Policy) String() string {
+	switch p {
+	case PolicyFull:
+		return "full"
+	case PolicyQuiz:
+		return "quiz"
+	case PolicyDeferred:
+		return "deferred"
+	case PolicyAuto:
+		return "auto"
+	default:
+		return "policy(?)"
+	}
+}
+
+// ParsePolicy parses the -verify-policy flag value.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "", "full", "full-r":
+		return PolicyFull, nil
+	case "quiz":
+		return PolicyQuiz, nil
+	case "deferred":
+		return PolicyDeferred, nil
+	case "auto":
+		return PolicyAuto, nil
+	default:
+		return 0, fmt.Errorf("core: unknown verify policy %q (want full, quiz, deferred or auto)", s)
+	}
+}
+
+// decidePolicy resolves the configured policy for one sub-graph launch.
+// PolicyAuto consults the suspicion table: excluded nodes get no work
+// anyway, so only nodes still on the inclusion list argue for caution.
+func (c *Controller) decidePolicy() Policy {
+	p := c.Cfg.VerifyPolicy
+	if p == 0 {
+		return PolicyFull
+	}
+	if p != PolicyAuto {
+		return p
+	}
+	worst := None
+	for _, n := range c.Eng.Cluster.Nodes() {
+		if c.Susp.Excluded(n.ID) {
+			continue
+		}
+		if cat := c.Susp.CategoryOf(n.ID); cat > worst {
+			worst = cat
+		}
+	}
+	switch {
+	case worst >= Med:
+		return PolicyFull
+	case worst == Low:
+		return PolicyQuiz
+	default:
+		return PolicyDeferred
+	}
+}
+
+// quizPick deterministically samples the quiz set: a task is quizzed iff
+// an FNV-1a hash of (sid, job, task) lands under fraction. Hashing the
+// sid means every attempt resamples — a faulty node cannot learn which
+// tasks escape quizzing — while the draw stays byte-replayable for a
+// fixed schedule.
+func quizPick(sid, job, tid string, fraction float64) bool {
+	if fraction <= 0 {
+		return false
+	}
+	if fraction >= 1 {
+		return true
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	fold := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff
+		h *= prime64
+	}
+	fold(sid)
+	fold(job)
+	fold(tid)
+	const buckets = 1 << 20
+	return h%buckets < uint64(fraction*buckets)
+}

@@ -65,3 +65,26 @@ func (s *OverlapScheduler) Pick(node *cluster.Node, candidates []*mapred.Task) *
 	}
 	return best
 }
+
+// ForgetSID implements mapred.SIDForgetter: it drops the affinity state
+// of a dead or superseded attempt on every node, so the per-node sid
+// sets stay bounded across retries and repeated controller runs instead
+// of pinning affinity for sub-graphs that no longer exist.
+func (s *OverlapScheduler) ForgetSID(sid string) {
+	for n, hosted := range s.sids {
+		delete(hosted, sid)
+		if len(hosted) == 0 {
+			delete(s.sids, n)
+		}
+	}
+}
+
+// HostedSIDs counts (node, sid) affinity entries currently tracked;
+// lifecycle tests pin it to prove teardown prunes scheduler state.
+func (s *OverlapScheduler) HostedSIDs() int {
+	n := 0
+	for _, hosted := range s.sids {
+		n += len(hosted)
+	}
+	return n
+}

@@ -174,3 +174,19 @@ func Of(tuples []tuple.Tuple) Sum {
 	h.Sum(s[:0])
 	return s
 }
+
+// OfLines computes the one-shot digest of a stream of already-encoded
+// records, one per line with a newline separator so record boundaries
+// stay part of the digested bytes. The engine's audit digests (task
+// outputs and storage-boundary streams for quiz/deferred verification)
+// are built on it.
+func OfLines(lines []string) Sum {
+	h := sha256.New()
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	var s Sum
+	h.Sum(s[:0])
+	return s
+}

@@ -33,6 +33,11 @@ type Scale struct {
 	// DisableCombine turns off map-side combining in every compiled job
 	// (cmd/experiments -combine=off), for A/B shuffle-volume comparisons.
 	DisableCombine bool
+	// VerifyPolicy, when non-zero, is applied to every controller the
+	// experiments build that does not pin a policy itself
+	// (cmd/experiments -verify-policy), so any figure can be reproduced
+	// under quiz/deferred verification.
+	VerifyPolicy core.Policy
 }
 
 // Small returns a scale suitable for unit tests (sub-second runs).
@@ -82,6 +87,7 @@ type rig struct {
 	cl             *cluster.Cluster
 	eng            *mapred.Engine
 	disableCombine bool
+	verifyPolicy   core.Policy
 }
 
 func newRig(sc Scale, path string, lines []string) *rig {
@@ -92,7 +98,7 @@ func newRig(sc Scale, path string, lines []string) *rig {
 	if Observe != nil {
 		Observe(eng)
 	}
-	return &rig{fs: fs, cl: cl, eng: eng, disableCombine: sc.DisableCombine}
+	return &rig{fs: fs, cl: cl, eng: eng, disableCombine: sc.DisableCombine, verifyPolicy: sc.VerifyPolicy}
 }
 
 // expCostModel puts the experiments in the paper's operating regime:
@@ -117,6 +123,9 @@ func expCostModel() mapred.CostModel {
 // controller builds a fresh controller with an overlap scheduler.
 func (r *rig) controller(cfg core.Config) *core.Controller {
 	cfg.DisableCombine = cfg.DisableCombine || r.disableCombine
+	if cfg.VerifyPolicy == 0 {
+		cfg.VerifyPolicy = r.verifyPolicy
+	}
 	susp := core.NewSuspicionTable(cfg.SuspicionThreshold)
 	r.eng.Sched = core.NewOverlapScheduler(susp)
 	return core.NewController(r.eng, cfg, susp, nil)

@@ -296,3 +296,42 @@ func TestRecoveryTable(t *testing.T) {
 		t.Error("render header missing")
 	}
 }
+
+func TestVerifyCostSmallScale(t *testing.T) {
+	res, err := VerifyCost(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	byPolicy := map[string]VerifyCostRow{}
+	for _, r := range res.Rows {
+		byPolicy[r.Policy] = r
+		if r.DetectUs <= 0 {
+			t.Errorf("%s: detection latency not measured: %d", r.Policy, r.DetectUs)
+		}
+		if r.RecoverUs <= 0 {
+			t.Errorf("%s: recovery latency not measured", r.Policy)
+		}
+	}
+	full := byPolicy["full"]
+	for _, p := range []string{"quiz", "deferred"} {
+		row := byPolicy[p]
+		// The acceptance bar: the cheap policies spend at least 2x less
+		// compute than full replication on a fault-free run.
+		if row.CPUUs*2 > full.CPUUs {
+			t.Errorf("%s CPU %d not >= 2x cheaper than full %d", p, row.CPUUs, full.CPUUs)
+		}
+		if row.QuizTasks == 0 {
+			t.Errorf("%s ran no quizzes", p)
+		}
+	}
+	if full.QuizTasks != 0 {
+		t.Errorf("full ran %d quizzes", full.QuizTasks)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "deferred") || !strings.Contains(out, "cpu/full") {
+		t.Errorf("render:\n%s", out)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strings"
 
 	"clusterbft/internal/cluster"
 	"clusterbft/internal/dfs"
@@ -107,6 +108,11 @@ type JobState struct {
 	redsTotal   int
 	redsDone    int
 
+	// auditParts retains each committed part's produced lines (before any
+	// write hook) when Spec.Audit is set, so completeJob can digest the
+	// job's output as produced for AuditIOOutPoint.
+	auditParts map[string][]string
+
 	running    map[string][]*runningTask // task ID -> active attempts
 	committed  map[string]bool           // task IDs whose result committed
 	maxDur     map[TaskKind]int64        // longest committed duration per kind
@@ -172,6 +178,12 @@ type Engine struct {
 	Sched   Scheduler
 	Cost    CostModel
 	Metrics Metrics
+
+	// QuizTasks counts tasks re-executed through Requiz. It lives outside
+	// Metrics so the Table 3 snapshot (whose %+v rendering golden
+	// fixtures pin) keeps its shape; quiz CPU still folds into
+	// Metrics.CPUTimeUs.
+	QuizTasks int64
 
 	// Workers bounds how many task bodies compute concurrently on the
 	// host; 0 means GOMAXPROCS, 1 reproduces fully serial execution.
@@ -395,6 +407,15 @@ func (e *Engine) makeRunnable(js *JobState) {
 	for i, in := range js.Spec.Inputs {
 		lines := e.readInput(in.Path)
 		js.inputLines[i] = lines
+		if js.Spec.Audit && in.AuditIn && e.DigestSink != nil {
+			// Digest the input exactly as read back — the flat
+			// concatenation readInput returned, after any storage-layer
+			// read transformation — so a mismatch against the producer's
+			// as-produced digest convicts the storage boundary.
+			e.DigestSink(auditReport(js.Spec, AuditIOInPoint,
+				fmt.Sprintf("%s/in%d", baseID(js.Spec.ID), i),
+				int64(len(lines)), digest.OfLines(lines)))
+		}
 		js.splits[i] = splitLines(len(lines), e.Cost.SplitRecords)
 		for s := range js.splits[i] {
 			t := &Task{Job: js, Kind: MapTask, InputIdx: i, Index: s}
@@ -609,9 +630,9 @@ func (e *Engine) startTask(node *cluster.Node, t *Task) {
 
 	var body func() bodyResult
 	if t.Kind == MapTask {
-		body = e.mapBody(t, df, corrupt)
+		body = e.mapBody(t, df, buf.Add, corrupt)
 	} else {
-		body = e.reduceBody(t, df)
+		body = e.reduceBody(t, df, buf.Add)
 	}
 	e.pending = append(e.pending, pendingBody{
 		rt:   rt,
@@ -778,7 +799,10 @@ func (e *Engine) specSweep() bool {
 // (the split's lines, the job spec, the cost model) and writes only
 // attempt-local state (the outcome and the attempt's digest buffer).
 // The commit closure it yields runs back on the simulation goroutine.
-func (e *Engine) mapBody(t *Task, df digestFactory, corrupt corruptFn) func() bodyResult {
+// emit receives the attempt's audit digest reports (the attempt's own
+// buffer in normal execution, a quiz buffer under Requiz); it is only
+// consulted when the spec has Audit set.
+func (e *Engine) mapBody(t *Task, df digestFactory, emit func(digest.Report), corrupt corruptFn) func() bodyResult {
 	js := t.Job
 	split := js.splits[t.InputIdx][t.Index]
 	lines := js.inputLines[t.InputIdx][split[0]:split[1]]
@@ -786,6 +810,10 @@ func (e *Engine) mapBody(t *Task, df digestFactory, corrupt corruptFn) func() bo
 	o := e.obsTask
 	return func() bodyResult {
 		out := runMapTask(js.Spec, t.InputIdx, lines, df, corrupt, o)
+		if js.Spec.Audit && emit != nil {
+			sum, n := auditMapSum(out)
+			emit(auditReport(js.Spec, AuditTaskPoint, baseID(js.Spec.ID)+"/"+t.ID(), n, sum))
+		}
 		inBytes := linesBytes(lines)
 		// Shuffle cost is charged on the post-combiner record count: the
 		// combiner shrinks what crosses the wire and pays CombineRecordUs
@@ -845,7 +873,7 @@ func (e *Engine) mapsFinished(js *JobState) {
 // after every map of the job committed, so js.mapOutcomes is immutable
 // while the body reads it (committed-task guards prevent late backup
 // attempts from writing outcomes again).
-func (e *Engine) reduceBody(t *Task, df digestFactory) func() bodyResult {
+func (e *Engine) reduceBody(t *Task, df digestFactory, emit func(digest.Report)) func() bodyResult {
 	js := t.Job
 	cost := e.Cost
 	o := e.obsTask
@@ -870,6 +898,10 @@ func (e *Engine) reduceBody(t *Task, df digestFactory) func() bodyResult {
 			// job with no output rather than crash the simulation.
 			out = &reduceOutcome{}
 		}
+		if js.Spec.Audit && emit != nil {
+			sum, n := auditReduceSum(out)
+			emit(auditReport(js.Spec, AuditTaskPoint, baseID(js.Spec.ID)+"/"+t.ID(), n, sum))
+		}
 		dur := cost.TaskStartupUs +
 			cost.ReduceRecordUs*(out.recordsIn+out.recordsOut) +
 			cost.ShuffleRecordUs*out.recordsIn +
@@ -889,8 +921,17 @@ func (e *Engine) reduceBody(t *Task, df digestFactory) func() bodyResult {
 	}
 }
 
-// writeOutput persists task output and accounts the HDFS write.
+// writeOutput persists task output and accounts the HDFS write. Under
+// Spec.Audit the produced lines are retained per part (before the
+// storage layer's write hook can transform them) for the job's
+// as-produced output digest.
 func (e *Engine) writeOutput(js *JobState, part string, lines []string) {
+	if js.Spec.Audit {
+		if js.auditParts == nil {
+			js.auditParts = make(map[string][]string)
+		}
+		js.auditParts[part] = lines
+	}
 	path := joinPath(js.Spec.Output, part)
 	e.FS.Append(path, lines...)
 	e.Metrics.HDFSBytesWritten += linesBytes(lines)
@@ -900,6 +941,23 @@ func (e *Engine) writeOutput(js *JobState, part string, lines []string) {
 func (e *Engine) completeJob(js *JobState) {
 	js.Done = true
 	js.DoneTime = e.now
+	if js.Spec.Audit && e.DigestSink != nil {
+		// Digest the job's output as produced, concatenated in sorted
+		// part-name order — the order ReadTree serves it to consumers —
+		// so the producer-side digest is directly comparable to any
+		// consumer's AuditIOInPoint digest of the same tree.
+		parts := make([]string, 0, len(js.auditParts))
+		for p := range js.auditParts {
+			parts = append(parts, p)
+		}
+		sort.Strings(parts)
+		var lines []string
+		for _, p := range parts {
+			lines = append(lines, js.auditParts[p]...)
+		}
+		e.DigestSink(auditReport(js.Spec, AuditIOOutPoint, baseID(js.Spec.ID),
+			int64(len(lines)), digest.OfLines(lines)))
+	}
 	if js.Spec.Reduce != nil {
 		e.Trace.Record("stage", js.Spec.ID, "reduce", js.mapsDoneTime, e.now,
 			obs.AI("tasks", int64(js.redsTotal)))
@@ -1083,4 +1141,179 @@ func (e *Engine) Idle() bool {
 		}
 	}
 	return true
+}
+
+// JobCount returns how many submitted jobs the engine still tracks;
+// lifecycle tests pin it to prove ForgetSID bounds engine state across
+// repeated controller runs.
+func (e *Engine) JobCount() int { return len(e.jobs) }
+
+// baseID returns the job's compile-time base ID: a controller-rewritten
+// spec ID has the form "<prefix>/<base>" where base is stable across
+// replicas and attempts. An ID with no '/' is its own base.
+func baseID(id string) string {
+	if i := strings.LastIndexByte(id, '/'); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+// auditReport builds a one-shot audit digest report for a job's stream.
+func auditReport(spec *JobSpec, point int, task string, records int64, sum digest.Sum) digest.Report {
+	return digest.Report{
+		Key:     digest.Key{SID: spec.SID, Point: point, Task: task},
+		Replica: spec.Replica,
+		Final:   true,
+		Records: records,
+		Sum:     sum,
+	}
+}
+
+// TaskIDs lists the job's task identities in deterministic order: map
+// tasks by (input, split), then reduce tasks by partition. Valid once
+// the job is runnable (splits computed); for a Done job it covers every
+// task that committed.
+func (j *JobState) TaskIDs() []string {
+	out := make([]string, 0, j.mapsTotal+j.redsTotal)
+	for i := range j.splits {
+		for s := range j.splits[i] {
+			out = append(out, (&Task{Kind: MapTask, InputIdx: i, Index: s}).ID())
+		}
+	}
+	for r := 0; r < j.redsTotal; r++ {
+		out = append(out, (&Task{Kind: ReduceTask, Index: r}).ID())
+	}
+	return out
+}
+
+// taskByID reconstructs a Task of js from its stable identity, checking
+// the identity names real work within the job's computed splits and
+// partitions.
+func (e *Engine) taskByID(js *JobState, tid string) (*Task, error) {
+	var inputIdx, index int
+	if n, err := fmt.Sscanf(tid, "m%d-%03d", &inputIdx, &index); n == 2 && err == nil {
+		if inputIdx < 0 || inputIdx >= len(js.splits) || index < 0 || index >= len(js.splits[inputIdx]) {
+			return nil, fmt.Errorf("mapred: job %s has no map task %q", js.Spec.ID, tid)
+		}
+		return &Task{Job: js, Kind: MapTask, InputIdx: inputIdx, Index: index}, nil
+	}
+	if n, err := fmt.Sscanf(tid, "r%03d", &index); n == 1 && err == nil {
+		if index < 0 || index >= js.redsTotal {
+			return nil, fmt.Errorf("mapred: job %s has no reduce task %q", js.Spec.ID, tid)
+		}
+		return &Task{Job: js, Kind: ReduceTask, Index: index}, nil
+	}
+	return nil, fmt.Errorf("mapred: bad task id %q", tid)
+}
+
+// Requiz re-executes one committed task of a completed job on the
+// trusted tier — the quiz step of the quiz/deferred verification
+// policies. The task body runs honestly (no node adversary, no chaos
+// hook) over the same retained inputs the primary attempt consumed (the
+// split's cached lines for a map task, the primary's committed map
+// outcomes for a reduce task), computing the same in-chain
+// verification-point digests plus the AuditTaskPoint output digest, all
+// tagged with quizReplica. The re-execution holds no cluster slot: the
+// trusted tier is modeled as parallel capacity, but its CPU is charged
+// to Metrics.CPUTimeUs (the ε of "1+ε cost" verification) and its
+// digests replay to sink after the body's virtual duration elapses, so
+// verification latency is honest. The task's output is discarded —
+// quizzes verify, they never publish.
+func (e *Engine) Requiz(jobID, taskID string, quizReplica int, sink func(digest.Report), done func()) error {
+	js := e.jobs[jobID]
+	if js == nil {
+		return fmt.Errorf("mapred: requiz of unknown job %q", jobID)
+	}
+	if !js.Done {
+		return fmt.Errorf("mapred: requiz of incomplete job %q", jobID)
+	}
+	t, err := e.taskByID(js, taskID)
+	if err != nil {
+		return err
+	}
+	buf := &digest.Buffer{}
+	chunk := e.DigestChunk
+	df := func(point int) *digest.Writer {
+		key := digest.Key{SID: js.Spec.SID, Point: point, Task: t.ID()}
+		w := digest.NewWriter(key, quizReplica, chunk, buf.Add)
+		w.Obs = e.obsDigestRecs
+		return w
+	}
+	// Audit-task reports built from the job spec carry the primary's
+	// replica index; restamp them so quiz evidence never overwrites the
+	// primary's entries in the verifier's store.
+	quizAdd := func(r digest.Report) {
+		r.Replica = quizReplica
+		buf.Add(r)
+	}
+	var body func() bodyResult
+	if t.Kind == MapTask {
+		body = e.mapBody(t, df, quizAdd, nil)
+	} else {
+		body = e.reduceBody(t, df, quizAdd)
+	}
+	res := pool.Go(e.bodyPool(), body).Wait()
+	e.Metrics.CPUTimeUs += res.dur
+	e.obsCPUCommitted.Add(res.dur)
+	e.QuizTasks++
+	e.Trace.Instant("quiz", "trusted", jobID+"/"+taskID, e.now)
+	e.After(res.dur, func() {
+		// res.commit is deliberately dropped: the primary already
+		// committed this task's effects.
+		buf.Replay(sink)
+		if done != nil {
+			done()
+		}
+	})
+	return nil
+}
+
+// SIDForgetter is implemented by schedulers that keep per-sub-graph
+// affinity state; Engine.ForgetSID forwards to it so attempt teardown
+// prunes the whole stack.
+type SIDForgetter interface {
+	ForgetSID(sid string)
+}
+
+// ForgetSID drops every trace of a sub-graph attempt from the engine:
+// its jobs, output registrations, queued tasks, and per-node replica
+// bindings, plus the scheduler's affinity state when the scheduler
+// implements SIDForgetter. The controller calls it for superseded
+// attempts once their replacement verified and for all attempts at
+// end-of-run teardown, so engine state stays bounded across repeated
+// runs. Callers must not forget a sid that may still receive events
+// (live attempts, or completed attempts a pending quiz still reads).
+func (e *Engine) ForgetSID(sid string) {
+	if sid == "" {
+		return
+	}
+	for n, m := range e.sidBinding {
+		delete(m, sid)
+		if len(m) == 0 {
+			delete(e.sidBinding, n)
+		}
+	}
+	keepOrder := e.jobOrder[:0]
+	for _, id := range e.jobOrder {
+		js := e.jobs[id]
+		if js != nil && js.Spec.SID == sid {
+			delete(e.jobs, id)
+			if e.byOutput[js.Spec.Output] == js {
+				delete(e.byOutput, js.Spec.Output)
+			}
+			continue
+		}
+		keepOrder = append(keepOrder, id)
+	}
+	e.jobOrder = keepOrder
+	keepReady := e.ready[:0]
+	for _, t := range e.ready {
+		if t.Job.Spec.SID != sid {
+			keepReady = append(keepReady, t)
+		}
+	}
+	e.ready = keepReady
+	if f, ok := e.Sched.(SIDForgetter); ok {
+		f.ForgetSID(sid)
+	}
 }

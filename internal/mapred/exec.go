@@ -1,6 +1,7 @@
 package mapred
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"strings"
 
@@ -437,6 +438,41 @@ func colOf(t tuple.Tuple, idx int) tuple.Value {
 		return t[idx]
 	}
 	return tuple.Null()
+}
+
+// auditMapSum digests a map task's full output for AuditTaskPoint: the
+// shuffle partitions in partition order (key, separator, payload per
+// record) plus any map-only output lines. Primary and quiz executions of
+// the same task run the same code over the same spec, so equal work
+// yields equal sums regardless of combiner settings.
+func auditMapSum(out *mapOutcome) (digest.Sum, int64) {
+	h := sha256.New()
+	var n int64
+	var buf []byte
+	for _, part := range out.partitions {
+		for i := range part {
+			h.Write([]byte(part[i].keyStr))
+			h.Write([]byte{0x1f, byte(part[i].tag + 1), 0x1f})
+			buf = tuple.AppendEncoded(buf[:0], part[i].t)
+			h.Write(buf)
+			h.Write([]byte{'\n'})
+			n++
+		}
+		h.Write([]byte{0x1e}) // partition boundary
+	}
+	for _, l := range out.outLines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+		n++
+	}
+	var s digest.Sum
+	h.Sum(s[:0])
+	return s, n
+}
+
+// auditReduceSum digests a reduce task's output lines for AuditTaskPoint.
+func auditReduceSum(out *reduceOutcome) (digest.Sum, int64) {
+	return digest.OfLines(out.outLines), int64(len(out.outLines))
 }
 
 // linesBytes sums serialized record sizes (records + newlines).

@@ -78,7 +78,34 @@ type JobInput struct {
 	KeyCols []int
 	// Tag distinguishes join sides (0 = left, 1 = right); -1 otherwise.
 	Tag int
+	// AuditIn marks an input produced by another job of the same
+	// submission whose storage-boundary bytes should be digested on read
+	// (see JobSpec.Audit). Raw source inputs stay unaudited: the trusted
+	// store serves them identically to every replica.
+	AuditIn bool
 }
+
+// Audit digest points. Plan vertex IDs are non-negative, so negative
+// Point values give audit digests a namespace disjoint from every
+// verification point the compiler can instrument. The Task field carries
+// the job's base ID (the spec ID after the last '/') so streams from
+// different jobs of one sub-graph never collide even when their task IDs
+// ("m0-000", "r000") do.
+const (
+	// AuditTaskPoint digests a task's full output (shuffle partitions or
+	// final lines); Task is "<job>/<task>". Quiz verification compares a
+	// re-executed task's digests — these plus the task's in-chain
+	// verification-point digests — against the primary's.
+	AuditTaskPoint = -1
+	// AuditIOOutPoint digests a job's output as produced, before the
+	// storage layer sees it; Task is "<job>".
+	AuditIOOutPoint = -2
+	// AuditIOInPoint digests an input exactly as read back from storage;
+	// Task is "<job>/in<i>". A mismatch against the producer's
+	// AuditIOOutPoint digest convicts the storage boundary (write or
+	// read tampering) without a second replica.
+	AuditIOInPoint = -3
+)
 
 // ReduceKind enumerates reduce cores.
 type ReduceKind uint8
@@ -148,6 +175,12 @@ type JobSpec struct {
 	Output     string // DFS directory receiving part files
 	OutVertex  int    // plan vertex whose output this job materializes
 	Final      bool   // materializes a STORE (counts as HDFS write)
+	// Audit enables the engine's audit digests for this job: per-task
+	// output digests (AuditTaskPoint) and storage-boundary I/O digests
+	// (AuditIOOutPoint/AuditIOInPoint). The controller sets it on
+	// replicas verified by quiz or deferred policies; full-r replicas
+	// run without it and stay byte-identical to historical behavior.
+	Audit bool
 }
 
 // Clone deep-copies the spec so per-replica rewrites don't alias.
