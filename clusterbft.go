@@ -65,6 +65,12 @@ const (
 	StrongAdversary = analyze.Strong
 )
 
+// StorageOptions configures the trusted store's block data plane: block
+// size, resident-memory budget, spill directory and per-block
+// compression. Set via Config.Storage; the zero value keeps everything
+// resident and uncompressed.
+type StorageOptions = dfs.Options
+
 // DefaultConfig mirrors the paper's common setup: f=1, r=4, two
 // verification points, weak adversary, offline comparison.
 func DefaultConfig() Config { return core.DefaultConfig() }
@@ -91,7 +97,7 @@ func New(nodes, slots int, cfg Config) *System {
 
 // NewWithCost is New with an explicit virtual-time cost model.
 func NewWithCost(nodes, slots int, cfg Config, cost CostModel) *System {
-	fs := dfs.New()
+	fs := dfs.NewWith(cfg.Storage)
 	workers := cluster.New(nodes, slots)
 	susp := core.NewSuspicionTable(cfg.SuspicionThreshold)
 	engine := mapred.NewEngine(fs, workers, core.NewOverlapScheduler(susp), cost)
@@ -172,3 +178,7 @@ func (s *System) EngineMetrics() Metrics { return s.engine.Metrics }
 
 // VirtualNow returns the engine's virtual clock in microseconds.
 func (s *System) VirtualNow() int64 { return s.engine.Now() }
+
+// Close releases the trusted store's spill file, if a memory budget ever
+// forced blocks to disk. Safe to call on systems that never spilled.
+func (s *System) Close() error { return s.fs.Close() }

@@ -8,6 +8,7 @@
 //	    [-f 1] [-r 4] [-points 2] [-nodes 16] [-slots 3] \
 //	    [-d 0] [-final-only] [-faulty node-003:commission:1.0] [-show 20]
 //	    [-verify-policy=full|quiz|deferred|auto] [-explain]
+//	    [-block-size N] [-mem-budget 64m] [-spill-dir DIR] [-compress]
 //
 // Inputs are tab-separated local files copied into the trusted in-memory
 // DFS at the path the script LOADs. -faulty attaches an adversary to a
@@ -58,6 +59,7 @@ func run() error {
 	policyName := flag.String("verify-policy", "full", "verification policy: full, quiz, deferred or auto")
 	show := flag.Int("show", 20, "output records to print per store")
 	explain := flag.Bool("explain", false, "print the replication structure after the run")
+	storageFlags := dfs.Flags(flag.CommandLine)
 	flag.Parse()
 
 	if *script == "" {
@@ -68,7 +70,12 @@ func run() error {
 		return err
 	}
 
-	fs := dfs.New()
+	storage, err := storageFlags()
+	if err != nil {
+		return err
+	}
+	fs := dfs.NewWith(storage)
+	defer fs.Close()
 	for _, in := range inputs {
 		dfsPath, local, ok := strings.Cut(in, "=")
 		if !ok {
@@ -96,6 +103,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	cfg.Storage = storage
 	susp := core.NewSuspicionTable(cfg.SuspicionThreshold)
 	eng := mapred.NewEngine(fs, cl, core.NewOverlapScheduler(susp), mapred.DefaultCostModel())
 	ctrl := core.NewController(eng, cfg, susp, nil)

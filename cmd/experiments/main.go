@@ -2,8 +2,9 @@
 //
 // Usage:
 //
-//	experiments [-exp all|fig9|fig10|table3|fig11|fig12|fig13|fig14|recovery|verifycost]
+//	experiments [-exp all|fig9|fig10|table3|fig11|fig12|fig13|fig14|recovery|verifycost|outofcore]
 //	            [-scale small|paper] [-combine=on|off] [-verify-policy=full|quiz|deferred|auto]
+//	            [-block-size N] [-mem-budget 64m] [-spill-dir DIR] [-compress]
 //	            [--trace=run.json] [--metrics]
 //
 // Each experiment prints rows shaped like the paper's (§6); see
@@ -19,18 +20,20 @@ import (
 	"os"
 
 	"clusterbft/internal/core"
+	"clusterbft/internal/dfs"
 	"clusterbft/internal/experiments"
 	"clusterbft/internal/mapred"
 	"clusterbft/internal/obs"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig9, fig10, table3, fig11, fig12, fig13, fig14, recovery, verifycost")
+	exp := flag.String("exp", "all", "experiment: all, fig9, fig10, table3, fig11, fig12, fig13, fig14, recovery, verifycost, outofcore")
 	scaleName := flag.String("scale", "small", "workload scale: small or paper")
 	combine := flag.String("combine", "on", "map-side combiners: on or off (results are identical either way; latencies differ)")
 	policyName := flag.String("verify-policy", "", "verification policy for every figure's controllers: full, quiz, deferred or auto (default: full)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline here (a .jsonl twin is written next to it)")
 	metrics := flag.Bool("metrics", false, "print the accumulated metrics registry after the experiments")
+	storageFlags := dfs.Flags(flag.CommandLine)
 	flag.Parse()
 
 	var reg *obs.Registry
@@ -73,6 +76,11 @@ func main() {
 		os.Exit(2)
 	}
 	sc.VerifyPolicy = policy
+	sc.Storage, err = storageFlags()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	runners := []struct {
 		name string
@@ -87,6 +95,7 @@ func main() {
 		{"fig14", func() (string, error) { r, err := experiments.Fig14(sc); return render(r, err) }},
 		{"recovery", func() (string, error) { r, err := experiments.Recovery(); return render(r, err) }},
 		{"verifycost", func() (string, error) { r, err := experiments.VerifyCost(sc); return render(r, err) }},
+		{"outofcore", func() (string, error) { r, err := experiments.OutOfCore(sc); return render(r, err) }},
 	}
 
 	matched := false

@@ -23,7 +23,10 @@
 // the same seed always reproduces the same report byte-for-byte.
 // -verify-policy=full|quiz|deferred|auto runs the campaign's controllers
 // under that verification policy (quiz/deferred sample at fraction 1 so
-// every commission fault is quizzable).
+// every commission fault is quizzable). The storage flags (-block-size,
+// -mem-budget, -spill-dir, -compress) configure the chaos runs' DFS
+// block data plane; reports are byte-identical at any setting. The
+// suspicion simulator has no storage layer and ignores them.
 package main
 
 import (
@@ -36,6 +39,7 @@ import (
 	"clusterbft/internal/chaos"
 	"clusterbft/internal/cluster"
 	"clusterbft/internal/core"
+	"clusterbft/internal/dfs"
 	"clusterbft/internal/faultsim"
 	"clusterbft/internal/obs"
 )
@@ -53,6 +57,7 @@ func main() {
 	chaosRun := flag.Bool("chaos", false, "run one seeded fault-injection schedule end-to-end (uses -seed)")
 	campaign := flag.Int("campaign", 0, "run N seeded fault-injection schedules with invariant checks (uses -seed as base)")
 	policyName := flag.String("verify-policy", "full", "chaos-mode verification policy: full, quiz, deferred or auto")
+	storageFlags := dfs.Flags(flag.CommandLine)
 	flag.Parse()
 
 	if *chaosRun || *campaign > 0 {
@@ -61,10 +66,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "chaos:", err)
 			os.Exit(2)
 		}
+		storage, err := storageFlags()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(2)
+		}
 		cfg := chaos.DefaultCampaign()
 		cfg.BaseSeed = *seed
 		cfg.Schedules = *campaign
 		cfg.Core.VerifyPolicy = policy
+		cfg.Core.Storage = storage
 		if policy != core.PolicyFull {
 			cfg.Core.QuizFraction = 1
 		}

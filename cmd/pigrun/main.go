@@ -6,6 +6,7 @@
 //
 //	pigrun -script q.pig -input data/edges=edges.tsv [-nodes 8] [-slots 3] [-show 20]
 //	       [-combine=on|off] [-verify-policy=full|quiz|deferred|auto]
+//	       [-block-size N] [-mem-budget 64m] [-spill-dir DIR] [-compress]
 //	       [--trace=run.json] [--metrics]
 //
 // -verify-policy leaves the baseline but runs the script under the BFT
@@ -56,6 +57,7 @@ func run() error {
 	explain := flag.Bool("explain", false, "print the logical plan and compiled jobs, then exit")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline here (a .jsonl twin is written next to it)")
 	metrics := flag.Bool("metrics", false, "print the metrics registry after the run")
+	storageFlags := dfs.Flags(flag.CommandLine)
 	flag.Parse()
 
 	if *script == "" {
@@ -93,7 +95,12 @@ func run() error {
 		return nil
 	}
 
-	fs := dfs.New()
+	storage, err := storageFlags()
+	if err != nil {
+		return err
+	}
+	fs := dfs.NewWith(storage)
+	defer fs.Close()
 	for _, in := range inputs {
 		dfsPath, local, ok := strings.Cut(in, "=")
 		if !ok {
@@ -144,6 +151,7 @@ func run() error {
 		cfg.VerifyPolicy = policy
 		cfg.NumReduces = *reduces
 		cfg.DisableCombine = *combine == "off"
+		cfg.Storage = storage
 		susp := core.NewSuspicionTable(cfg.SuspicionThreshold)
 		eng.Sched = core.NewOverlapScheduler(susp)
 		ctrl := core.NewController(eng, cfg, susp, nil)

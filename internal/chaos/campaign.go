@@ -205,6 +205,7 @@ func RunSchedule(cfg CampaignConfig, sched *Schedule, baseline map[string][]stri
 // sorted record set of every STORE output.
 func cleanBaseline(cfg CampaignConfig) (map[string][]string, error) {
 	h := newRun(cfg)
+	defer h.fs.Close()
 	res, err := h.ctrl.Run(cfg.Script)
 	if err != nil {
 		return nil, err
@@ -232,7 +233,7 @@ type chaosRun struct {
 }
 
 func newRun(cfg CampaignConfig) *chaosRun {
-	fs := dfs.New()
+	fs := dfs.NewWith(cfg.Core.Storage)
 	for path, lines := range cfg.Data {
 		fs.Append(path, lines...)
 	}
@@ -246,6 +247,7 @@ func newRun(cfg CampaignConfig) *chaosRun {
 func runOne(cfg CampaignConfig, sched *Schedule, baseline map[string][]string) ScheduleResult {
 	in := NewInjector(sched)
 	h := newRun(cfg)
+	defer h.fs.Close()
 	trail := analyze.NewAuditTrail(h.eng.Now)
 	h.ctrl.AttachAudit(trail)
 	sr := ScheduleResult{Seed: sched.Seed, Desc: sched.String(), Recoveries: map[string]int{}}

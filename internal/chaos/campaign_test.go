@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"clusterbft/internal/dfs"
 	"strings"
 	"testing"
 )
@@ -68,5 +69,46 @@ func TestChaosCampaign(t *testing.T) {
 			}
 		}
 		t.Fatalf("campaign is not deterministic; first divergent line:\n%s", line)
+	}
+}
+
+// TestCampaignByteIdenticalAcrossStorage replays the same seeded
+// schedule batch on the default all-resident data plane and on a
+// deliberately hostile block configuration — tiny compressed blocks
+// under a resident budget that forces spilling — and requires the two
+// campaign reports to be byte-for-byte identical. Faults are injected
+// at the line-stream level and digests are over canonical record bytes,
+// so every mangle, recovery action and invariant outcome must land the
+// same way regardless of how bytes rest on disk.
+func TestCampaignByteIdenticalAcrossStorage(t *testing.T) {
+	cfg := DefaultCampaign()
+	cfg.Schedules = 12
+
+	base, err := RunCampaign(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spillCfg := cfg
+	spillCfg.Core.Storage = dfs.Options{
+		BlockSize: 512,
+		MemBudget: 1 << 10,
+		SpillDir:  t.TempDir(),
+		Compress:  true,
+	}
+	spill, err := RunCampaign(spillCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := base.Render(), spill.Render()
+	if a != b {
+		la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+		for i := range la {
+			if i >= len(lb) || la[i] != lb[i] {
+				t.Fatalf("reports diverge at line %d:\n  resident %q\n  spill    %q", i+1, la[i], lb[i])
+			}
+		}
+		t.Fatalf("reports diverge in length: %d vs %d bytes", len(a), len(b))
 	}
 }

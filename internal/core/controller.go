@@ -6,6 +6,7 @@ import (
 
 	"clusterbft/internal/analyze"
 	"clusterbft/internal/cluster"
+	"clusterbft/internal/dfs"
 	"clusterbft/internal/digest"
 	"clusterbft/internal/mapred"
 	"clusterbft/internal/obs"
@@ -65,6 +66,13 @@ type Config struct {
 	// quizzes under PolicyQuiz/PolicyDeferred; <= 0 defaults to 0.25 and
 	// values above 1 are clamped. At least one task is always quizzed.
 	QuizFraction float64
+	// Storage configures the DFS block data plane (block size, resident
+	// memory budget, spill directory, compression). It does not affect
+	// observables: digests are over canonical record bytes, never block
+	// bytes. Harnesses that construct the FS themselves (faultsim chaos
+	// mode, the experiments rig) read it from here; the controller never
+	// builds an FS.
+	Storage dfs.Options
 }
 
 // DefaultConfig mirrors the paper's common setup: f=1, full BFT

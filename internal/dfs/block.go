@@ -1,0 +1,227 @@
+package dfs
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// The block format is the at-rest representation of file records: a file
+// is a sequence of sealed blocks plus an unsealed tail. Each block holds
+// a batch of records in column-grouped, length-prefixed form — record
+// values (the tab-separated fields of each line) are regrouped so all
+// values of column 0 are stored contiguously, then all of column 1, and
+// so on. Column grouping puts like-typed bytes next to each other, which
+// is what makes the optional per-block flate compression effective on
+// tabular data. Splitting on raw tabs and re-joining with tabs is an
+// exact involution for arbitrary line content (the tuple codec escapes
+// tabs inside values, and even unescaped content round-trips), so block
+// encoding is invisible to every consumer: digests are taken over
+// canonical record bytes, never over block bytes (PR 2's separation),
+// which is what lets the storage representation change freely here.
+//
+// Layout:
+//
+//	byte 0: format version (blockVersion)
+//	byte 1: flags (blockFlagFlate: payload is flate-compressed)
+//	uvarint: record count (always uncompressed, so counting is cheap)
+//	payload (possibly compressed):
+//	   uvarint: maxCols — the widest record's column count
+//	   per record: uvarint column count
+//	   for c in [0, maxCols): for each record with >c columns:
+//	      uvarint value length, value bytes
+const (
+	blockVersion   = 0x01
+	blockFlagFlate = 0x01
+)
+
+// DefaultBlockSize is the target encoded size of one sealed block.
+const DefaultBlockSize = 256 << 10
+
+// EncodeBlock serializes a batch of record lines into one block.
+// compress enables per-block flate (BestSpeed); incompressible payloads
+// are stored raw even when compression is requested, so decoding never
+// pays inflation for nothing.
+func EncodeBlock(lines []string, compress bool) []byte {
+	data, _ := encodeBlockStats(lines, compress)
+	return data
+}
+
+// encodeBlockStats is EncodeBlock plus the uncompressed payload length,
+// which the FS folds into its compression-ratio accounting.
+func encodeBlockStats(lines []string, compress bool) (data []byte, rawLen int) {
+	// Pass 1: find the field spans of every line. starts/ends are flat,
+	// row-major; pre[i] is the index of line i's first span.
+	var logical int
+	for _, l := range lines {
+		logical += len(l) + 1
+	}
+	colCounts := make([]int, len(lines))
+	pre := make([]int, len(lines)+1)
+	var starts, ends []int
+	maxCols := 0
+	for i, l := range lines {
+		n := 0
+		start := 0
+		for {
+			idx := strings.IndexByte(l[start:], '\t')
+			if idx < 0 {
+				starts = append(starts, start)
+				ends = append(ends, len(l))
+				n++
+				break
+			}
+			starts = append(starts, start)
+			ends = append(ends, start+idx)
+			start += idx + 1
+			n++
+		}
+		colCounts[i] = n
+		pre[i+1] = pre[i] + n
+		if n > maxCols {
+			maxCols = n
+		}
+	}
+
+	// Pass 2: column-grouped payload.
+	payload := make([]byte, 0, logical+len(lines)*2+16)
+	payload = binary.AppendUvarint(payload, uint64(maxCols))
+	for _, n := range colCounts {
+		payload = binary.AppendUvarint(payload, uint64(n))
+	}
+	for c := 0; c < maxCols; c++ {
+		for i, l := range lines {
+			if colCounts[i] <= c {
+				continue
+			}
+			s, e := starts[pre[i]+c], ends[pre[i]+c]
+			payload = binary.AppendUvarint(payload, uint64(e-s))
+			payload = append(payload, l[s:e]...)
+		}
+	}
+	rawLen = len(payload)
+
+	flags := byte(0)
+	if compress && rawLen > 0 {
+		var zb bytes.Buffer
+		zb.Grow(rawLen / 2)
+		zw, err := flate.NewWriter(&zb, flate.BestSpeed)
+		if err == nil {
+			if _, err := zw.Write(payload); err == nil && zw.Close() == nil && zb.Len() < rawLen {
+				payload = zb.Bytes()
+				flags |= blockFlagFlate
+			}
+		}
+	}
+
+	data = make([]byte, 0, 2+binary.MaxVarintLen64+len(payload))
+	data = append(data, blockVersion, flags)
+	data = binary.AppendUvarint(data, uint64(len(lines)))
+	return append(data, payload...), rawLen
+}
+
+// BlockRecords reports how many records data holds without decoding (or
+// decompressing) the payload.
+func BlockRecords(data []byte) (int, error) {
+	if len(data) < 2 || data[0] != blockVersion {
+		return 0, fmt.Errorf("dfs: bad block header")
+	}
+	n, w := binary.Uvarint(data[2:])
+	if w <= 0 {
+		return 0, fmt.Errorf("dfs: bad block record count")
+	}
+	return int(n), nil
+}
+
+// DecodeBlock reverses EncodeBlock, reconstructing the exact record
+// lines the block was sealed from.
+func DecodeBlock(data []byte) ([]string, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("dfs: block too short")
+	}
+	if data[0] != blockVersion {
+		return nil, fmt.Errorf("dfs: unknown block version 0x%02x", data[0])
+	}
+	flags := data[1]
+	rest := data[2:]
+	n, w := binary.Uvarint(rest)
+	if w <= 0 {
+		return nil, fmt.Errorf("dfs: bad block record count")
+	}
+	payload := rest[w:]
+	if flags&blockFlagFlate != 0 {
+		zr := flate.NewReader(bytes.NewReader(payload))
+		raw, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("dfs: block decompress: %w", err)
+		}
+		zr.Close()
+		payload = raw
+	}
+	numRecords := int(n)
+	if numRecords == 0 {
+		return nil, nil
+	}
+
+	maxCols64, w := binary.Uvarint(payload)
+	if w <= 0 {
+		return nil, fmt.Errorf("dfs: bad block maxCols")
+	}
+	off := w
+	maxCols := int(maxCols64)
+	colCounts := make([]int, numRecords)
+	pre := make([]int, numRecords+1)
+	for i := range colCounts {
+		c, w := binary.Uvarint(payload[off:])
+		if w <= 0 {
+			return nil, fmt.Errorf("dfs: bad block column count")
+		}
+		off += w
+		colCounts[i] = int(c)
+		pre[i+1] = pre[i] + int(c)
+		if int(c) > maxCols || c == 0 {
+			return nil, fmt.Errorf("dfs: block column count out of range")
+		}
+	}
+
+	// Column-major scan records every value's span; pre maps it back to
+	// its row-major slot.
+	type span struct{ start, end int }
+	spans := make([]span, pre[numRecords])
+	for c := 0; c < maxCols; c++ {
+		for i := 0; i < numRecords; i++ {
+			if colCounts[i] <= c {
+				continue
+			}
+			l, w := binary.Uvarint(payload[off:])
+			if w <= 0 {
+				return nil, fmt.Errorf("dfs: bad block value length")
+			}
+			off += w
+			end := off + int(l)
+			if end > len(payload) {
+				return nil, fmt.Errorf("dfs: block value overruns payload")
+			}
+			spans[pre[i]+c] = span{start: off, end: end}
+			off = end
+		}
+	}
+
+	lines := make([]string, numRecords)
+	var buf []byte
+	for i := 0; i < numRecords; i++ {
+		buf = buf[:0]
+		for c := 0; c < colCounts[i]; c++ {
+			if c > 0 {
+				buf = append(buf, '\t')
+			}
+			sp := spans[pre[i]+c]
+			buf = append(buf, payload[sp.start:sp.end]...)
+		}
+		lines[i] = string(buf)
+	}
+	return lines, nil
+}

@@ -1,14 +1,26 @@
 // Package dfs provides the trusted storage layer ClusterBFT assumes
-// (paper §2.3): an in-memory, append-only, HDFS-like file system. Files
-// hold text records (lines); directories are implicit path prefixes, and
-// MapReduce outputs follow the Hadoop convention of part files under an
-// output directory. The file system counts bytes read and written so the
+// (paper §2.3): an append-only, HDFS-like file system holding text
+// records (lines). Directories are implicit path prefixes, and MapReduce
+// outputs follow the Hadoop convention of part files under an output
+// directory. The file system counts bytes read and written so the
 // Table 3 "HDFS write" metric can be reported.
+//
+// Since PR 7 the at-rest representation is block-structured rather than
+// a []string per file: records accumulate in a small unsealed tail and
+// are sealed into columnar, length-prefixed blocks (~Options.BlockSize
+// encoded bytes each, see block.go), optionally flate-compressed, and —
+// under a resident-memory budget — spilled to a temp file on disk. All
+// of this is invisible above the API line: reads reconstruct the exact
+// record lines that were appended, verification digests are taken over
+// canonical record bytes (never block bytes), and the line-level
+// Read/Write hooks keep firing on exactly the streams they always saw.
 package dfs
 
 import (
 	"fmt"
+	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -16,8 +28,54 @@ import (
 	"clusterbft/internal/obs"
 )
 
-// FS is a concurrency-safe in-memory file system. The zero value is not
-// usable; construct with New.
+// Options configures the block data plane of an FS. The zero value
+// matches the historical behaviour as closely as possible: default
+// block size, no compression, unlimited resident memory (nothing ever
+// spills, no temp files are created).
+type Options struct {
+	// BlockSize is the target encoded size of one sealed block in
+	// bytes; <= 0 selects DefaultBlockSize (256 KiB). Records never
+	// split across blocks, so a single record larger than BlockSize
+	// makes an oversized block.
+	BlockSize int
+	// MemBudget caps the resident encoded bytes of sealed blocks;
+	// when an append pushes the total past the budget, the oldest
+	// resident blocks spill to the spill file until the total is back
+	// under. <= 0 disables spilling entirely. The budget governs
+	// sealed blocks only: each file's unsealed tail additionally holds
+	// up to ~BlockSize of pending records.
+	MemBudget int64
+	// SpillDir is where the spill file is created; "" uses the system
+	// temp directory. The file is removed by Close.
+	SpillDir string
+	// Compress enables per-block flate compression of sealed blocks.
+	Compress bool
+}
+
+// ParseBytes parses a human byte size: a non-negative integer with an
+// optional k/m/g (KiB/MiB/GiB) suffix, case-insensitive.
+func ParseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	mult := int64(1)
+	if len(s) > 0 {
+		switch s[len(s)-1] {
+		case 'k', 'K':
+			mult, s = 1<<10, s[:len(s)-1]
+		case 'm', 'M':
+			mult, s = 1<<20, s[:len(s)-1]
+		case 'g', 'G':
+			mult, s = 1<<30, s[:len(s)-1]
+		}
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("dfs: bad byte size %q", s)
+	}
+	return n * mult, nil
+}
+
+// FS is a concurrency-safe block-structured file system. The zero value
+// is not usable; construct with New or NewWith.
 type FS struct {
 	// WriteHook, when set, transforms the lines of every Append before
 	// they are stored; ReadHook transforms the result of each logical
@@ -25,26 +83,97 @@ type FS struct {
 	// handed to the caller — stored data is never touched). Both are
 	// nil-safe and zero-cost when unset; they exist for fault injection,
 	// which uses them to corrupt or truncate record streams at the
-	// storage boundary. Set hooks before using the FS concurrently; a
-	// hook must be a pure function and must not call back into the FS.
+	// storage boundary. Append is the block-encode boundary and
+	// ReadLines/ReadTree (and reader opens, which materialize through
+	// them when a hook is set) are the block-decode boundary, so hooks
+	// observe exactly the line streams they saw on the legacy []string
+	// store. Set hooks before using the FS concurrently; a hook must be
+	// a pure function and must not call back into the FS.
 	ReadHook  func(path string, lines []string) []string
 	WriteHook func(path string, lines []string) []string
 
+	opts Options
+
 	mu    sync.RWMutex
 	files map[string]*file
+	paths []string // incrementally-maintained sorted path index
+
+	// Spill machinery, guarded by mu. The spill file is append-only and
+	// never reclaimed: spilled block bytes stay valid at their offsets
+	// even after the owning file is deleted, so open readers keep
+	// working (HDFS unlink semantics).
+	spillF   *os.File
+	spillOff int64
+	spillErr error
+
+	// Block accounting, guarded by mu.
+	residentBlocks int64 // sealed blocks currently held in memory
+	residentBytes  int64 // their encoded bytes
+	maxResident    int64 // high-water mark of residentBytes (post-spill)
+	spilledBlocks  int64
+	spilledBytes   int64
+	rawPayload     int64 // uncompressed payload bytes of sealed blocks
+	storedPayload  int64 // stored payload bytes (post-compression)
+	residentQ      []*block
 
 	bytesWritten atomic.Int64
 	bytesRead    atomic.Int64
 }
 
+// file is one stored file: sealed blocks plus the unsealed tail.
 type file struct {
-	lines []string
-	bytes int64
+	blocks       []*block
+	pending      []string
+	pendingBytes int
+	lines        int
+	bytes        int64 // logical size: record bytes plus one newline each
 }
 
-// New returns an empty file system.
-func New() *FS {
-	return &FS{files: make(map[string]*file)}
+// block is one sealed batch of records. data is nil once spilled, in
+// which case (off, size) locate the encoded bytes in the spill file.
+// Encoded bytes are immutable after sealing; readers may hold the data
+// slice across a spill transition safely.
+type block struct {
+	records int
+	logical int64
+	data    []byte
+	off     int64
+	size    int
+	freed   bool // owning file deleted; skip when evicting
+}
+
+// New returns an empty file system with default options (everything
+// resident, uncompressed).
+func New() *FS { return NewWith(Options{}) }
+
+// NewWith returns an empty file system with the given block data-plane
+// options. The spill file is created lazily on first spill; if creating
+// or writing it fails, spilling stops and blocks stay resident (the
+// sticky error is reported by SpillErr and Close).
+func NewWith(opts Options) *FS {
+	if opts.BlockSize <= 0 {
+		opts.BlockSize = DefaultBlockSize
+	}
+	return &FS{opts: opts, files: make(map[string]*file)}
+}
+
+// Close releases the spill file, if any. Open readers holding spilled
+// block references must not be used afterwards.
+func (fs *FS) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	err := fs.spillErr
+	if fs.spillF != nil {
+		name := fs.spillF.Name()
+		if cerr := fs.spillF.Close(); err == nil {
+			err = cerr
+		}
+		if rerr := os.Remove(name); err == nil {
+			err = rerr
+		}
+		fs.spillF = nil
+	}
+	return err
 }
 
 // ErrNotFound is returned when a path does not exist.
@@ -61,6 +190,48 @@ func clean(path string) string {
 	return strings.TrimPrefix(strings.TrimSuffix(path, "/"), "/")
 }
 
+// ---- path index -------------------------------------------------------
+
+// insertPath adds path to the sorted index; caller holds mu.
+func (fs *FS) insertPath(path string) {
+	i := sort.SearchStrings(fs.paths, path)
+	if i < len(fs.paths) && fs.paths[i] == path {
+		return
+	}
+	fs.paths = append(fs.paths, "")
+	copy(fs.paths[i+1:], fs.paths[i:])
+	fs.paths[i] = path
+}
+
+// removePathRange splices [lo, hi) out of the index; caller holds mu.
+func (fs *FS) removePathRange(lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	fs.paths = append(fs.paths[:lo], fs.paths[hi:]...)
+}
+
+// pathRanges returns the index ranges matching prefix: the exact path
+// (if present) and the half-open range of everything under prefix+"/".
+// Matches within each range are contiguous because the index is sorted;
+// the two ranges are returned separately since unrelated paths (e.g.
+// "a!b" between "a" and "a/x") may sit between them. An empty prefix
+// matches everything. Caller holds mu.
+func (fs *FS) pathRanges(prefix string) (exact bool, lo, hi int) {
+	if prefix == "" {
+		return false, 0, len(fs.paths)
+	}
+	i := sort.SearchStrings(fs.paths, prefix)
+	exact = i < len(fs.paths) && fs.paths[i] == prefix
+	sub := prefix + "/"
+	lo = sort.SearchStrings(fs.paths, sub)
+	// "/"+1 == "0": everything under prefix+"/" sorts before prefix+"0".
+	hi = sort.SearchStrings(fs.paths, prefix+"0")
+	return exact, lo, hi
+}
+
+// ---- writes -----------------------------------------------------------
+
 // Create makes an empty file at path, failing if it already exists.
 func (fs *FS) Create(path string) error {
 	path = clean(path)
@@ -70,12 +241,16 @@ func (fs *FS) Create(path string) error {
 		return &ErrExists{Path: path}
 	}
 	fs.files[path] = &file{}
+	fs.insertPath(path)
 	return nil
 }
 
 // Append adds lines to the file at path, creating it if needed. The file
 // system is append-only in keeping with cloud-store semantics (§1): there
-// is no way to overwrite existing records in place.
+// is no way to overwrite existing records in place. Appended records land
+// in the file's unsealed tail; once the tail reaches the target block
+// size it is sealed into encoded (optionally compressed) blocks, which
+// spill to disk when the resident-memory budget is exceeded.
 func (fs *FS) Append(path string, lines ...string) {
 	path = clean(path)
 	if fs.WriteHook != nil {
@@ -90,12 +265,136 @@ func (fs *FS) Append(path string, lines ...string) {
 	if !ok {
 		f = &file{}
 		fs.files[path] = f
+		fs.insertPath(path)
 	}
-	f.lines = append(f.lines, lines...)
+	f.pending = append(f.pending, lines...)
+	f.pendingBytes += int(n)
+	f.lines += len(lines)
 	f.bytes += n
+	fs.sealPending(f)
 	fs.mu.Unlock()
 	fs.bytesWritten.Add(n)
 }
+
+// sealPending seals full blocks off f's tail and enforces the resident
+// budget; caller holds mu.
+func (fs *FS) sealPending(f *file) {
+	for f.pendingBytes >= fs.opts.BlockSize {
+		// Take the shortest prefix of pending lines reaching the target.
+		take, taken := 0, 0
+		for _, l := range f.pending {
+			taken += len(l) + 1
+			take++
+			if taken >= fs.opts.BlockSize {
+				break
+			}
+		}
+		chunk := f.pending[:take]
+		data, rawLen := encodeBlockStats(chunk, fs.opts.Compress)
+		b := &block{records: take, logical: int64(taken), data: data}
+		f.blocks = append(f.blocks, b)
+		rest := f.pending[take:]
+		f.pending = append([]string(nil), rest...) // release sealed strings
+		f.pendingBytes -= taken
+		fs.rawPayload += int64(rawLen)
+		fs.storedPayload += int64(len(data))
+		fs.residentBlocks++
+		fs.residentBytes += int64(len(data))
+		fs.residentQ = append(fs.residentQ, b)
+	}
+	fs.enforceBudget()
+	if fs.residentBytes > fs.maxResident {
+		fs.maxResident = fs.residentBytes
+	}
+}
+
+// enforceBudget spills the oldest resident blocks until resident bytes
+// fit the budget; caller holds mu. On spill-file errors spilling is
+// disabled (sticky) and blocks stay resident.
+func (fs *FS) enforceBudget() {
+	if fs.opts.MemBudget <= 0 || fs.spillErr != nil {
+		return
+	}
+	for fs.residentBytes > fs.opts.MemBudget && len(fs.residentQ) > 0 {
+		b := fs.residentQ[0]
+		fs.residentQ = fs.residentQ[1:]
+		if b.data == nil {
+			continue
+		}
+		if b.freed {
+			// Owning file deleted: drop without paying a spill write.
+			fs.residentBlocks--
+			fs.residentBytes -= int64(len(b.data))
+			b.data = nil
+			continue
+		}
+		if err := fs.spillBlock(b); err != nil {
+			fs.spillErr = err
+			return
+		}
+	}
+}
+
+// spillBlock writes one resident block to the spill file; caller holds
+// mu.
+func (fs *FS) spillBlock(b *block) error {
+	if fs.spillF == nil {
+		dir := fs.opts.SpillDir
+		if dir == "" {
+			dir = os.TempDir()
+		}
+		f, err := os.CreateTemp(dir, "clusterbft-spill-*.blk")
+		if err != nil {
+			return err
+		}
+		fs.spillF = f
+	}
+	if _, err := fs.spillF.WriteAt(b.data, fs.spillOff); err != nil {
+		return err
+	}
+	b.off = fs.spillOff
+	b.size = len(b.data)
+	fs.spillOff += int64(b.size)
+	fs.residentBlocks--
+	fs.residentBytes -= int64(b.size)
+	fs.spilledBlocks++
+	fs.spilledBytes += int64(b.size)
+	b.data = nil
+	return nil
+}
+
+// loadBlock returns the decoded lines of b. Safe for concurrent use:
+// the encoded bytes are immutable once sealed, and a spilled block is
+// read back with a positioned read. Decode failure means the trusted
+// store itself broke (spill-file corruption), which the fault model
+// assumes away — it panics rather than inventing an error path every
+// reader would have to thread.
+func (fs *FS) loadBlock(b *block) []string {
+	fs.mu.RLock()
+	data := b.data
+	off, size := b.off, b.size
+	fs.mu.RUnlock()
+	if data == nil {
+		buf := make([]byte, size)
+		fs.mu.RLock()
+		sf := fs.spillF
+		fs.mu.RUnlock()
+		if sf == nil {
+			panic("dfs: spilled block with no spill file")
+		}
+		if _, err := sf.ReadAt(buf, off); err != nil {
+			panic(fmt.Sprintf("dfs: spill read: %v", err))
+		}
+		data = buf
+	}
+	lines, err := DecodeBlock(data)
+	if err != nil {
+		panic(fmt.Sprintf("dfs: block decode: %v", err))
+	}
+	return lines
+}
+
+// ---- reads ------------------------------------------------------------
 
 // ReadLines returns a copy of the lines of the file at path.
 func (fs *FS) ReadLines(path string) ([]string, error) {
@@ -116,10 +415,17 @@ func (fs *FS) readRaw(path string) ([]string, error) {
 		fs.mu.RUnlock()
 		return nil, &ErrNotFound{Path: path}
 	}
-	out := make([]string, len(f.lines))
-	copy(out, f.lines)
+	blocks := f.blocks // sealed prefix is append-only; snapshot is stable
+	tail := f.pending[:len(f.pending):len(f.pending)]
 	n := f.bytes
+	total := f.lines
 	fs.mu.RUnlock()
+
+	out := make([]string, 0, total)
+	for _, b := range blocks {
+		out = append(out, fs.loadBlock(b)...)
+	}
+	out = append(out, tail...)
 	fs.bytesRead.Add(n)
 	return out, nil
 }
@@ -134,16 +440,40 @@ func (fs *FS) Exists(path string) bool {
 }
 
 // Delete removes the file at path (and only that file). Deleting a
-// missing file is an error, matching HDFS -rm semantics.
+// missing file is an error, matching HDFS -rm semantics. Spilled block
+// bytes are not reclaimed from the spill file (it is append-only), but
+// resident block memory is released.
 func (fs *FS) Delete(path string) error {
 	path = clean(path)
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	if _, ok := fs.files[path]; !ok {
+	f, ok := fs.files[path]
+	if !ok {
 		return &ErrNotFound{Path: path}
 	}
+	fs.freeBlocks(f)
 	delete(fs.files, path)
+	if i := sort.SearchStrings(fs.paths, path); i < len(fs.paths) && fs.paths[i] == path {
+		fs.removePathRange(i, i+1)
+	}
 	return nil
+}
+
+// freeBlocks releases the resident memory of f's sealed blocks; caller
+// holds mu. Blocks still queued for eviction are marked freed and
+// skipped there.
+func (fs *FS) freeBlocks(f *file) {
+	for _, b := range f.blocks {
+		if b.freed {
+			continue
+		}
+		b.freed = true
+		if b.data != nil {
+			fs.residentBlocks--
+			fs.residentBytes -= int64(len(b.data))
+			b.data = nil
+		}
+	}
 }
 
 // DeleteTree removes every file whose path equals prefix or sits under
@@ -152,34 +482,44 @@ func (fs *FS) DeleteTree(prefix string) int {
 	prefix = clean(prefix)
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
-	n := 0
-	for p := range fs.files {
-		if p == prefix || strings.HasPrefix(p, prefix+"/") {
-			delete(fs.files, p)
-			n++
-		}
+	exact, lo, hi := fs.pathRanges(prefix)
+	n := hi - lo
+	for _, p := range fs.paths[lo:hi] {
+		fs.freeBlocks(fs.files[p])
+		delete(fs.files, p)
+	}
+	fs.removePathRange(lo, hi)
+	if exact {
+		i := sort.SearchStrings(fs.paths, prefix)
+		fs.freeBlocks(fs.files[prefix])
+		delete(fs.files, prefix)
+		fs.removePathRange(i, i+1)
+		n++
 	}
 	return n
 }
 
-// List returns the sorted paths of all files at or under prefix. An empty
-// prefix lists everything.
+// List returns the sorted paths of all files at or under prefix. An
+// empty prefix lists everything. The sorted path index makes this
+// O(matched + log files) rather than a scan-and-sort of the whole map.
 func (fs *FS) List(prefix string) []string {
 	prefix = clean(prefix)
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
-	var out []string
-	for p := range fs.files {
-		if prefix == "" || p == prefix || strings.HasPrefix(p, prefix+"/") {
-			out = append(out, p)
-		}
+	exact, lo, hi := fs.pathRanges(prefix)
+	if !exact && lo >= hi {
+		return nil
 	}
-	sort.Strings(out)
-	return out
+	out := make([]string, 0, hi-lo+1)
+	if exact {
+		out = append(out, prefix)
+	}
+	return append(out, fs.paths[lo:hi]...)
 }
 
 // Size returns the stored byte size of the file at path (records plus one
-// newline each).
+// newline each). This is the logical size — the Table 3 metrics it feeds
+// are independent of block encoding and compression.
 func (fs *FS) Size(path string) (int64, error) {
 	path = clean(path)
 	fs.mu.RLock()
@@ -196,11 +536,13 @@ func (fs *FS) TreeSize(prefix string) int64 {
 	prefix = clean(prefix)
 	fs.mu.RLock()
 	defer fs.mu.RUnlock()
+	exact, lo, hi := fs.pathRanges(prefix)
 	var n int64
-	for p, f := range fs.files {
-		if prefix == "" || p == prefix || strings.HasPrefix(p, prefix+"/") {
-			n += f.bytes
-		}
+	if exact {
+		n += fs.files[prefix].bytes
+	}
+	for _, p := range fs.paths[lo:hi] {
+		n += fs.files[p].bytes
 	}
 	return n
 }
@@ -214,7 +556,7 @@ func (fs *FS) LineCount(path string) (int, error) {
 	if !ok {
 		return 0, &ErrNotFound{Path: path}
 	}
-	return len(f.lines), nil
+	return f.lines, nil
 }
 
 // ReadTree reads and concatenates, in sorted path order, every file at or
@@ -239,11 +581,82 @@ func (fs *FS) ReadTree(prefix string) ([]string, error) {
 	return out, nil
 }
 
-// BytesWritten returns the cumulative bytes written since construction
-// (or the last ResetCounters).
+// ---- counters ---------------------------------------------------------
+
+// BytesWritten returns the cumulative logical bytes written since
+// construction (or the last ResetCounters).
 func (fs *FS) BytesWritten() int64 { return fs.bytesWritten.Load() }
 
-// Instrument registers live views of the I/O counters into reg.
+// BytesRead returns the cumulative logical bytes read since construction
+// (or the last ResetCounters).
+func (fs *FS) BytesRead() int64 { return fs.bytesRead.Load() }
+
+// ResetCounters zeroes the read/write byte counters without touching file
+// contents; experiments call this between measured phases.
+func (fs *FS) ResetCounters() {
+	fs.bytesWritten.Store(0)
+	fs.bytesRead.Store(0)
+}
+
+// ResidentBlocks counts sealed blocks currently held in memory.
+func (fs *FS) ResidentBlocks() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.residentBlocks
+}
+
+// ResidentBytes sums the encoded bytes of resident sealed blocks.
+func (fs *FS) ResidentBytes() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.residentBytes
+}
+
+// MaxResidentBytes is the high-water mark of ResidentBytes, sampled
+// after each append's budget enforcement — the number the out-of-core
+// experiment checks against the configured budget.
+func (fs *FS) MaxResidentBytes() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.maxResident
+}
+
+// SpilledBlocks counts blocks written to the spill file.
+func (fs *FS) SpilledBlocks() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.spilledBlocks
+}
+
+// SpillBytes sums the encoded bytes written to the spill file.
+func (fs *FS) SpillBytes() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.spilledBytes
+}
+
+// CompressedRatio reports stored/raw payload bytes over all sealed
+// blocks, in percent (100 when nothing was compressed; 0 when nothing
+// was sealed yet reads as 100 for stability).
+func (fs *FS) CompressedRatio() int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	if fs.rawPayload == 0 {
+		return 100
+	}
+	return fs.storedPayload * 100 / fs.rawPayload
+}
+
+// SpillErr returns the sticky spill-file error, if any; after such an
+// error blocks stay resident (the budget is best-effort, not a
+// correctness property).
+func (fs *FS) SpillErr() error {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.spillErr
+}
+
+// Instrument registers live views of the I/O and block counters into reg.
 func (fs *FS) Instrument(reg *obs.Registry) {
 	if fs == nil || reg == nil {
 		return
@@ -255,15 +668,10 @@ func (fs *FS) Instrument(reg *obs.Registry) {
 		defer fs.mu.RUnlock()
 		return int64(len(fs.files))
 	})
-}
-
-// BytesRead returns the cumulative bytes read since construction (or the
-// last ResetCounters).
-func (fs *FS) BytesRead() int64 { return fs.bytesRead.Load() }
-
-// ResetCounters zeroes the read/write byte counters without touching file
-// contents; experiments call this between measured phases.
-func (fs *FS) ResetCounters() {
-	fs.bytesWritten.Store(0)
-	fs.bytesRead.Store(0)
+	reg.Func("dfs.blocks_resident", fs.ResidentBlocks)
+	reg.Func("dfs.resident_bytes", fs.ResidentBytes)
+	reg.Func("dfs.max_resident_bytes", fs.MaxResidentBytes)
+	reg.Func("dfs.blocks_spilled", fs.SpilledBlocks)
+	reg.Func("dfs.spill_bytes", fs.SpillBytes)
+	reg.Func("dfs.compressed_ratio", fs.CompressedRatio)
 }

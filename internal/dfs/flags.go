@@ -1,0 +1,31 @@
+package dfs
+
+import "flag"
+
+// Flags registers the block data-plane flags (-block-size, -mem-budget,
+// -spill-dir, -compress) on fset — typically flag.CommandLine — and
+// returns a function that resolves them into Options once the flag set
+// has been parsed. Every CLI exposes the same four knobs through this
+// helper.
+func Flags(fset *flag.FlagSet) func() (Options, error) {
+	blockSize := fset.Int("block-size", DefaultBlockSize,
+		"target encoded size of one sealed DFS block, in bytes")
+	memBudget := fset.String("mem-budget", "0",
+		"resident block memory budget with optional k/m/g suffix; 0 keeps every block in memory")
+	spillDir := fset.String("spill-dir", "",
+		"directory for the block spill file (default: system temp dir)")
+	compress := fset.Bool("compress", false,
+		"flate-compress sealed DFS blocks")
+	return func() (Options, error) {
+		budget, err := ParseBytes(*memBudget)
+		if err != nil {
+			return Options{}, err
+		}
+		return Options{
+			BlockSize: *blockSize,
+			MemBudget: budget,
+			SpillDir:  *spillDir,
+			Compress:  *compress,
+		}, nil
+	}
+}

@@ -1,0 +1,200 @@
+package dfs
+
+// Streaming access to block-backed files. A Reader exposes a file (or a
+// sorted part-file tree) as an indexed sequence of records without
+// materializing the whole file: record ranges decode only the blocks
+// they overlap, and batch iteration hands back one block's records at a
+// time. A Writer is the mirror image for appends. Both sit strictly
+// above the block layer — they never see encoded bytes, only record
+// lines — so everything the FS guarantees about hooks, counters, and
+// spilling holds for streamed access too.
+
+// rseg is one contiguous run of records inside a Reader: either a
+// sealed block (decoded on demand) or a snapshot of a file's unsealed
+// tail (held directly).
+type rseg struct {
+	blk   *block
+	lines []string
+	n     int
+}
+
+// Reader is a positioned, random-access view over the records of a file
+// or file tree, snapshotted at open time (appends after open are not
+// visible, matching the copy semantics of ReadLines). The zero value is
+// an empty reader. ReadRange and NumRecords are safe for concurrent
+// use; Next is not.
+type Reader struct {
+	fs     *FS
+	segs   []rseg
+	starts []int // segs[i] covers records [starts[i], starts[i]+segs[i].n)
+	total  int
+	cursor int // next segment for Next
+
+	logicalBytes int64 // accumulated by addFile, charged once at open
+}
+
+// OpenReader opens a streaming reader over the file at path. The file's
+// full logical bytes are charged to the read counter at open, exactly
+// as a ReadLines call would. When a ReadHook is set the reader
+// materializes through ReadLines instead, so the hook observes the one
+// whole-file line stream it expects.
+func (fs *FS) OpenReader(path string) (*Reader, error) {
+	path = clean(path)
+	if fs.ReadHook != nil {
+		lines, err := fs.ReadLines(path)
+		if err != nil {
+			return nil, err
+		}
+		return readerOver(lines), nil
+	}
+	fs.mu.RLock()
+	f, ok := fs.files[path]
+	if !ok {
+		fs.mu.RUnlock()
+		return nil, &ErrNotFound{Path: path}
+	}
+	r := &Reader{fs: fs}
+	r.addFile(f)
+	fs.mu.RUnlock()
+	fs.bytesRead.Add(r.logicalBytes)
+	return r, nil
+}
+
+// OpenTreeReader opens a streaming reader over the concatenation, in
+// sorted path order, of every file at or under prefix — the streaming
+// counterpart of ReadTree, with the same not-found and hook semantics.
+func (fs *FS) OpenTreeReader(prefix string) (*Reader, error) {
+	prefix = clean(prefix)
+	if fs.ReadHook != nil {
+		lines, err := fs.ReadTree(prefix)
+		if err != nil {
+			return nil, err
+		}
+		return readerOver(lines), nil
+	}
+	fs.mu.RLock()
+	exact, lo, hi := fs.pathRanges(prefix)
+	if !exact && lo >= hi {
+		fs.mu.RUnlock()
+		return nil, &ErrNotFound{Path: prefix}
+	}
+	r := &Reader{fs: fs}
+	if exact {
+		r.addFile(fs.files[prefix])
+	}
+	for _, p := range fs.paths[lo:hi] {
+		r.addFile(fs.files[p])
+	}
+	fs.mu.RUnlock()
+	fs.bytesRead.Add(r.logicalBytes)
+	return r, nil
+}
+
+// readerOver wraps an already-materialized line slice (the hook path).
+func readerOver(lines []string) *Reader {
+	r := &Reader{}
+	if len(lines) > 0 {
+		r.segs = []rseg{{lines: lines, n: len(lines)}}
+		r.starts = []int{0}
+		r.total = len(lines)
+	}
+	return r
+}
+
+// addFile appends a file's segments to the reader; caller holds fs.mu.
+func (r *Reader) addFile(f *file) {
+	for _, b := range f.blocks {
+		r.starts = append(r.starts, r.total)
+		r.segs = append(r.segs, rseg{blk: b, n: b.records})
+		r.total += b.records
+	}
+	if len(f.pending) > 0 {
+		tail := f.pending[:len(f.pending):len(f.pending)]
+		r.starts = append(r.starts, r.total)
+		r.segs = append(r.segs, rseg{lines: tail, n: len(tail)})
+		r.total += len(tail)
+	}
+	r.logicalBytes += f.bytes
+}
+
+// NumRecords returns the total record count snapshotted at open.
+func (r *Reader) NumRecords() int { return r.total }
+
+// ReadRange returns the records in [start, end), decoding only the
+// blocks that range overlaps. It is stateless and safe to call
+// concurrently from parallel task bodies. Out-of-range bounds are
+// clamped.
+func (r *Reader) ReadRange(start, end int) []string {
+	if start < 0 {
+		start = 0
+	}
+	if end > r.total {
+		end = r.total
+	}
+	if start >= end {
+		return nil
+	}
+	// Find the first overlapping segment by binary search on starts.
+	lo, hi := 0, len(r.segs)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if r.starts[mid] <= start {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	out := make([]string, 0, end-start)
+	for i := lo; i < len(r.segs) && r.starts[i] < end; i++ {
+		seg := r.segs[i]
+		a, b := 0, seg.n
+		if s := start - r.starts[i]; s > a {
+			a = s
+		}
+		if e := end - r.starts[i]; e < b {
+			b = e
+		}
+		lines := seg.lines
+		if seg.blk != nil {
+			lines = r.fs.loadBlock(seg.blk)
+		}
+		out = append(out, lines[a:b]...)
+	}
+	return out
+}
+
+// Next returns the next batch of records — one segment (typically one
+// block) at a time — and false once the reader is exhausted.
+func (r *Reader) Next() ([]string, bool) {
+	if r.cursor >= len(r.segs) {
+		return nil, false
+	}
+	seg := r.segs[r.cursor]
+	r.cursor++
+	if seg.blk != nil {
+		return r.fs.loadBlock(seg.blk), true
+	}
+	return seg.lines, true
+}
+
+// Writer streams appended record batches into a file. Each Append is one
+// storage write: the WriteHook (if set) fires per batch, sealed blocks
+// form and spill incrementally as batches accumulate, exactly as direct
+// FS.Append calls would.
+type Writer struct {
+	fs   *FS
+	path string
+}
+
+// OpenWriter returns a streaming writer appending to path (created on
+// first Append if missing).
+func (fs *FS) OpenWriter(path string) *Writer {
+	return &Writer{fs: fs, path: clean(path)}
+}
+
+// Append adds one batch of records to the file.
+func (w *Writer) Append(lines ...string) { w.fs.Append(w.path, lines...) }
+
+// Close is a no-op — appends are durable immediately — but gives
+// callers a conventional lifecycle hook.
+func (w *Writer) Close() error { return nil }

@@ -38,6 +38,11 @@ type Scale struct {
 	// (cmd/experiments -verify-policy), so any figure can be reproduced
 	// under quiz/deferred verification.
 	VerifyPolicy core.Policy
+	// Storage configures the DFS block data plane of every rig
+	// (cmd/experiments -block-size/-mem-budget/-spill-dir/-compress).
+	// Observables are identical at any setting; only memory use and
+	// wall-clock change.
+	Storage dfs.Options
 }
 
 // Small returns a scale suitable for unit tests (sub-second runs).
@@ -91,7 +96,7 @@ type rig struct {
 }
 
 func newRig(sc Scale, path string, lines []string) *rig {
-	fs := dfs.New()
+	fs := dfs.NewWith(sc.Storage)
 	fs.Append(path, lines...)
 	cl := cluster.New(sc.Nodes, sc.Slots)
 	eng := mapred.NewEngine(fs, cl, nil, expCostModel())

@@ -335,3 +335,40 @@ func TestVerifyCostSmallScale(t *testing.T) {
 		t.Errorf("render:\n%s", out)
 	}
 }
+
+func TestOutOfCoreSmallScale(t *testing.T) {
+	// OutOfCore self-asserts the acceptance regime: something spilled,
+	// the resident high-water mark stayed under the budget (read back
+	// through the dfs obs gauges), and the spill run's outputs, digest
+	// counts and engine metrics matched the all-resident run byte for
+	// byte. Any violation surfaces as err.
+	sc := Small()
+	sc.Storage.SpillDir = t.TempDir()
+	res, err := OutOfCore(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Identical {
+		t.Fatal("storage modes not observationally identical")
+	}
+	if res.DatasetBytes < 4*res.BudgetBytes {
+		t.Fatalf("dataset %d B under 4x the %d B budget; regime too easy", res.DatasetBytes, res.BudgetBytes)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	spill := res.Rows[1]
+	if spill.BlocksSpill == 0 || spill.SpillBytes == 0 {
+		t.Fatalf("spill row did not spill: %+v", spill)
+	}
+	if spill.MaxResident > res.BudgetBytes {
+		t.Fatalf("resident high-water %d B over the %d B budget", spill.MaxResident, res.BudgetBytes)
+	}
+	if spill.CompressPct <= 0 || spill.CompressPct >= 100 {
+		t.Errorf("compressed ratio %d%% not in (0,100); flate gained nothing", spill.CompressPct)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "spill+flate") || !strings.Contains(out, "identical: true") {
+		t.Errorf("render:\n%s", out)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"testing"
 
+	"clusterbft/internal/dfs"
 	"clusterbft/internal/digest"
 	"clusterbft/internal/pig"
 	"clusterbft/internal/tuple"
@@ -118,11 +119,84 @@ func BenchmarkDataplaneCodecDecodeEscaped(b *testing.B) {
 			tuple.Str("c\nd\\e"),
 		})
 	}
+	var dec tuple.Decoder // the per-task decoder runMapTask uses
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, l := range lines {
-			_ = tuple.DecodeLine(l, nil)
+			_ = dec.DecodeLine(l, nil)
+		}
+	}
+	b.ReportMetric(benchBatch, "records/op")
+}
+
+// benchBlockLines generates benchBatch three-column records shaped like
+// the weather workload (hot station keys, small ints, short strings) —
+// the regime the columnar block codec targets.
+func benchBlockLines() []string {
+	lines := make([]string, benchBatch)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("station-%03d\t%d\tclear-%d", i%50, 20+i%7, i%3)
+	}
+	return lines
+}
+
+func BenchmarkDataplaneBlockEncode(b *testing.B) {
+	lines := benchBlockLines()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = dfs.EncodeBlock(lines, false)
+	}
+	b.ReportMetric(benchBatch, "records/op")
+}
+
+func BenchmarkDataplaneBlockDecode(b *testing.B) {
+	data := dfs.EncodeBlock(benchBlockLines(), false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dfs.DecodeBlock(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(benchBatch, "records/op")
+}
+
+// BenchmarkDataplaneSpillRoundTrip drives the full out-of-core path per
+// op: append the batch into a budgeted FS (sealing compressed blocks and
+// spilling them to disk), then stream every record back.
+func BenchmarkDataplaneSpillRoundTrip(b *testing.B) {
+	lines := benchBlockLines()
+	dir := b.TempDir()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fs := dfs.NewWith(dfs.Options{BlockSize: 4 << 10, MemBudget: 8 << 10, SpillDir: dir, Compress: true})
+		for off := 0; off < len(lines); off += 100 {
+			end := off + 100
+			if end > len(lines) {
+				end = len(lines)
+			}
+			fs.Append("bench/in", lines[off:end]...)
+		}
+		r, err := fs.OpenReader("bench/in")
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			batch, ok := r.Next()
+			if !ok {
+				break
+			}
+			n += len(batch)
+		}
+		if n != len(lines) {
+			b.Fatalf("round-trip lost records: %d != %d", n, len(lines))
+		}
+		if err := fs.Close(); err != nil {
+			b.Fatal(err)
 		}
 	}
 	b.ReportMetric(benchBatch, "records/op")

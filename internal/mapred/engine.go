@@ -100,7 +100,7 @@ type JobState struct {
 	runnable   bool
 
 	splits      [][][2]int    // per input: line ranges
-	inputLines  [][]string    // lazy cache of input records
+	inputSrcs   []*dfs.Reader // per input: streaming view opened at runnable time
 	mapOutcomes []*mapOutcome // indexed by map task ordinal
 	mapOrdinal  map[string]int
 	mapsTotal   int
@@ -403,20 +403,21 @@ func (e *Engine) makeRunnable(js *JobState) {
 	js.runnable = true
 	js.runnableTime = e.now
 	js.splits = make([][][2]int, len(js.Spec.Inputs))
-	js.inputLines = make([][]string, len(js.Spec.Inputs))
+	js.inputSrcs = make([]*dfs.Reader, len(js.Spec.Inputs))
 	for i, in := range js.Spec.Inputs {
-		lines := e.readInput(in.Path)
-		js.inputLines[i] = lines
+		src := e.openInput(in.Path)
+		js.inputSrcs[i] = src
 		if js.Spec.Audit && in.AuditIn && e.DigestSink != nil {
 			// Digest the input exactly as read back — the flat
-			// concatenation readInput returned, after any storage-layer
+			// concatenation the reader serves, after any storage-layer
 			// read transformation — so a mismatch against the producer's
 			// as-produced digest convicts the storage boundary.
+			lines := src.ReadRange(0, src.NumRecords())
 			e.DigestSink(auditReport(js.Spec, AuditIOInPoint,
 				fmt.Sprintf("%s/in%d", baseID(js.Spec.ID), i),
 				int64(len(lines)), digest.OfLines(lines)))
 		}
-		js.splits[i] = splitLines(len(lines), e.Cost.SplitRecords)
+		js.splits[i] = splitLines(src.NumRecords(), e.Cost.SplitRecords)
 		for s := range js.splits[i] {
 			t := &Task{Job: js, Kind: MapTask, InputIdx: i, Index: s}
 			t.Home = e.splitHome(in.Path, s)
@@ -429,20 +430,22 @@ func (e *Engine) makeRunnable(js *JobState) {
 	e.armTick()
 }
 
-// readInput loads an input file or part-file tree; missing paths read as
-// empty (an upstream job may legitimately have produced no records).
-func (e *Engine) readInput(path string) []string {
+// openInput opens a streaming reader over an input file or part-file
+// tree; missing paths read as empty (an upstream job may legitimately
+// have produced no records). The reader snapshots the input's blocks
+// without decoding them — map task bodies decode only their own split's
+// blocks, off the simulation goroutine.
+func (e *Engine) openInput(path string) *dfs.Reader {
 	if e.FS.Exists(path) {
-		lines, err := e.FS.ReadLines(path)
-		if err == nil {
-			return lines
+		if r, err := e.FS.OpenReader(path); err == nil {
+			return r
 		}
 	}
-	lines, err := e.FS.ReadTree(path)
+	r, err := e.FS.OpenTreeReader(path)
 	if err != nil {
-		return nil
+		return &dfs.Reader{}
 	}
-	return lines
+	return r
 }
 
 // splitHome deterministically assigns a "hosting" node for locality-aware
@@ -805,10 +808,14 @@ func (e *Engine) specSweep() bool {
 func (e *Engine) mapBody(t *Task, df digestFactory, emit func(digest.Report), corrupt corruptFn) func() bodyResult {
 	js := t.Job
 	split := js.splits[t.InputIdx][t.Index]
-	lines := js.inputLines[t.InputIdx][split[0]:split[1]]
+	src := js.inputSrcs[t.InputIdx]
 	cost := e.Cost
 	o := e.obsTask
 	return func() bodyResult {
+		// Decode only this split's blocks, here on the worker pool —
+		// block decode parallelizes across map tasks and the split's
+		// lines never outlive the body. ReadRange is concurrency-safe.
+		lines := src.ReadRange(split[0], split[1])
 		out := runMapTask(js.Spec, t.InputIdx, lines, df, corrupt, o)
 		if js.Spec.Audit && emit != nil {
 			sum, n := auditMapSum(out)
@@ -1210,7 +1217,9 @@ func (e *Engine) taskByID(js *JobState, tid string) (*Task, error) {
 // trusted tier — the quiz step of the quiz/deferred verification
 // policies. The task body runs honestly (no node adversary, no chaos
 // hook) over the same retained inputs the primary attempt consumed (the
-// split's cached lines for a map task, the primary's committed map
+// split's range of the job's retained input reader for a map task — the
+// reader snapshots the input at runnable time, so the quiz re-reads the
+// exact records the primary saw — the primary's committed map
 // outcomes for a reduce task), computing the same in-chain
 // verification-point digests plus the AuditTaskPoint output digest, all
 // tagged with quizReplica. The re-execution holds no cluster slot: the

@@ -24,7 +24,14 @@ type testRun struct {
 
 func run(t *testing.T, script string, inputs map[string][]string, opts CompileOptions, mutate func(*Engine)) *testRun {
 	t.Helper()
-	fs := dfs.New()
+	return runOn(t, dfs.New(), script, inputs, opts, mutate)
+}
+
+// runOn is run over a caller-built FS, so suites can exercise the same
+// script on differently-configured block data planes (tiny blocks,
+// spill budgets, compression).
+func runOn(t *testing.T, fs *dfs.FS, script string, inputs map[string][]string, opts CompileOptions, mutate func(*Engine)) *testRun {
+	t.Helper()
 	for path, lines := range inputs {
 		fs.Append(path, lines...)
 	}

@@ -220,9 +220,10 @@ func runMapTask(job *JobSpec, inputIdx int, lines []string, df digestFactory, co
 			out.partitions[p] = make([]interRec, 0, per)
 		}
 	}
-	var scratch []byte // per-task encode buffer, reused across records
+	var scratch []byte    // per-task encode buffer, reused across records
+	var dec tuple.Decoder // per-task decoder, amortizes unescape scratch
 	for _, line := range lines {
-		t := tuple.DecodeLine(line, in.Schema)
+		t := dec.DecodeLine(line, in.Schema)
 		out.recordsIn++
 		o.mapRecords.Inc()
 		if corrupt != nil {

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"clusterbft/internal/dfs"
 )
 
 // TestGoldenFollowerDigestStream runs one seeded Fig 9-style follower
@@ -24,6 +26,49 @@ import (
 // CLUSTERBFT_UPDATE_GOLDEN=1 after auditing that the change is meant to
 // alter observable bytes.
 func TestGoldenFollowerDigestStream(t *testing.T) {
+	got := goldenFollowerObservables(t, dfs.New())
+
+	golden := filepath.Join("testdata", "golden_follower.txt")
+	if os.Getenv("CLUSTERBFT_UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(got))
+		return
+	}
+	compareGolden(t, golden, got)
+}
+
+// TestGoldenFollowerDigestStreamSpillOn replays the same seeded job on a
+// block data plane configured far out of its comfort zone — 2 KiB
+// blocks, a 1 KiB resident budget forcing nearly every sealed block to
+// disk, compression on — and requires the exact committed fixture bytes.
+// Digests are over canonical record bytes and the storage layer
+// reconstructs records exactly, so no observable may move; this test
+// never regenerates the fixture.
+func TestGoldenFollowerDigestStreamSpillOn(t *testing.T) {
+	fs := dfs.NewWith(dfs.Options{
+		BlockSize: 2 << 10,
+		MemBudget: 1 << 10,
+		SpillDir:  t.TempDir(),
+		Compress:  true,
+	})
+	defer fs.Close()
+	got := goldenFollowerObservables(t, fs)
+	if fs.SpilledBlocks() == 0 {
+		t.Fatal("spill-on golden run never spilled; budget not exercised")
+	}
+	compareGolden(t, filepath.Join("testdata", "golden_follower.txt"), got)
+}
+
+// goldenFollowerObservables runs the seeded Fig 9-style follower job on
+// fs and renders every externally observable byte into the fixture
+// format.
+func goldenFollowerObservables(t *testing.T, fs *dfs.FS) string {
+	t.Helper()
 	lines := make([]string, 3000)
 	for i := range lines {
 		// Seeded Fig 9 shape: skewed users, some zero followers for the
@@ -32,7 +77,7 @@ func TestGoldenFollowerDigestStream(t *testing.T) {
 	}
 	p := plan(t, followerSrc)
 	opts := CompileOptions{Points: digestPoints(t, p, "ne", "counts"), NumReduces: 3}
-	tr := run(t, followerSrc, map[string][]string{"in/edges": lines}, opts,
+	tr := runOn(t, fs, followerSrc, map[string][]string{"in/edges": lines}, opts,
 		func(e *Engine) { e.DigestChunk = 200 })
 
 	var b strings.Builder
@@ -53,19 +98,13 @@ func TestGoldenFollowerDigestStream(t *testing.T) {
 	}
 	b.WriteString("## engine metrics\n")
 	fmt.Fprintf(&b, "%+v\n", tr.eng.Metrics)
-	got := b.String()
+	return b.String()
+}
 
-	golden := filepath.Join("testdata", "golden_follower.txt")
-	if os.Getenv("CLUSTERBFT_UPDATE_GOLDEN") != "" {
-		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		t.Logf("rewrote %s (%d bytes)", golden, len(got))
-		return
-	}
+// compareGolden diffs got against the committed fixture, reporting the
+// first divergent line.
+func compareGolden(t *testing.T, golden, got string) {
+	t.Helper()
 	want, err := os.ReadFile(golden)
 	if err != nil {
 		t.Fatalf("read fixture (CLUSTERBFT_UPDATE_GOLDEN=1 to create): %v", err)

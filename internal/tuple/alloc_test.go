@@ -19,6 +19,47 @@ func TestDecodeLinePlainAllocs(t *testing.T) {
 	}
 }
 
+func TestDecoderEscapedAllocs(t *testing.T) {
+	schema := NewSchema("user", "note", "more")
+	line := "1234\tesc\\taped\\nvalue\tand\\\\more"
+	var d Decoder
+	d.DecodeLine(line, schema) // warm the scratch buffers
+	got := testing.AllocsPerRun(200, func() {
+		_ = d.DecodeLine(line, schema)
+	})
+	// Exactly the shared backing string for the unescaped fields plus the
+	// Tuple backing array — the per-field strings.Builder churn of the old
+	// slow path is gone.
+	if got != 2 {
+		t.Errorf("Decoder.DecodeLine (escaped, warm) allocs/record = %v, want 2", got)
+	}
+}
+
+func TestDecoderMatchesDecodeLine(t *testing.T) {
+	schema := NewSchema("a", "b")
+	lines := []string{
+		"",
+		"plain\tfields\there",
+		"esc\\taped\t\\n\\\\",
+		"\\t\t\\t",
+		"trailing\\",
+		"lone\\q\tescape",
+	}
+	var d Decoder
+	for _, line := range lines {
+		want := DecodeLine(line, schema)
+		got := d.DecodeLine(line, schema)
+		if len(got) != len(want) {
+			t.Fatalf("%q: Decoder gave %d cols, package func %d", line, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%q col %d: Decoder %v, package func %v", line, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestAppendCanonicalAllocs(t *testing.T) {
 	row := Tuple{Int(42), Str("payload-column"), Float(1.5), Null()}
 	buf := make([]byte, 0, 128)

@@ -65,18 +65,65 @@ func EncodedLen(t Tuple) int {
 
 // DecodeLine parses one encoded record into a tuple, coercing columns by
 // the schema when provided (extra columns coerce as TypeAny; missing
-// schema columns are not padded).
+// schema columns are not padded). Loops over many records should use a
+// Decoder instead, which amortizes the escaped-path scratch buffer.
 func DecodeLine(line string, schema *Schema) Tuple {
+	var d Decoder
+	return d.DecodeLine(line, schema)
+}
+
+// Decoder decodes record lines while reusing one unescape scratch buffer
+// across calls, so the escaped slow path costs two allocations per record
+// (the backing string shared by every unescaped field, and the tuple)
+// instead of one per field. The zero value is ready to use. Not safe for
+// concurrent use; each task body owns its own Decoder.
+type Decoder struct {
+	buf    []byte
+	bounds []int
+}
+
+// DecodeLine parses one encoded record into a tuple; see the package
+// function for semantics.
+func (d *Decoder) DecodeLine(line string, schema *Schema) Tuple {
 	if line == "" {
 		return Tuple{}
 	}
 	if strings.IndexByte(line, '\\') < 0 {
 		return decodePlain(line, schema)
 	}
-	fields := splitEscaped(line)
-	t := make(Tuple, len(fields))
-	for i, raw := range fields {
-		t[i] = fieldType(schema, i).Coerce(raw)
+	// Escaped slow path: unescape the whole line into the shared scratch
+	// buffer, recording where each field ends, then cut one backing
+	// string into per-field substrings.
+	d.buf = d.buf[:0]
+	d.bounds = d.bounds[:0]
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '\\' && i+1 < len(line):
+			i++
+			switch line[i] {
+			case 't':
+				d.buf = append(d.buf, '\t')
+			case 'n':
+				d.buf = append(d.buf, '\n')
+			case '\\':
+				d.buf = append(d.buf, '\\')
+			default:
+				d.buf = append(d.buf, '\\', line[i])
+			}
+		case c == '\t':
+			d.bounds = append(d.bounds, len(d.buf))
+		default:
+			d.buf = append(d.buf, c)
+		}
+	}
+	d.bounds = append(d.bounds, len(d.buf))
+	all := string(d.buf)
+	t := make(Tuple, len(d.bounds))
+	start := 0
+	for i, end := range d.bounds {
+		t[i] = fieldType(schema, i).Coerce(all[start:end])
+		start = end
 	}
 	return t
 }
@@ -153,36 +200,4 @@ func escapedLen(s string) int {
 		}
 	}
 	return n
-}
-
-// splitEscaped splits a record on unescaped tabs and unescapes each
-// field (slow path: the line is known to contain at least one escape).
-func splitEscaped(line string) []string {
-	var fields []string
-	var cur strings.Builder
-	for i := 0; i < len(line); i++ {
-		c := line[i]
-		switch {
-		case c == '\\' && i+1 < len(line):
-			i++
-			switch line[i] {
-			case 't':
-				cur.WriteByte('\t')
-			case 'n':
-				cur.WriteByte('\n')
-			case '\\':
-				cur.WriteByte('\\')
-			default:
-				cur.WriteByte('\\')
-				cur.WriteByte(line[i])
-			}
-		case c == '\t':
-			fields = append(fields, cur.String())
-			cur.Reset()
-		default:
-			cur.WriteByte(c)
-		}
-	}
-	fields = append(fields, cur.String())
-	return fields
 }
