@@ -9,11 +9,15 @@
 //	    [-d 0] [-final-only] [-faulty node-003:commission:1.0] [-show 20]
 //	    [-verify-policy=full|quiz|deferred|auto] [-explain]
 //	    [-block-size N] [-mem-budget 64m] [-spill-dir DIR] [-compress]
+//	    [--trace=run.json] [--metrics] [-http :8080]
 //
 // Inputs are tab-separated local files copied into the trusted in-memory
 // DFS at the path the script LOADs. -faulty attaches an adversary to a
 // node (kind: commission or omission; probability in [0,1]) and may be
-// repeated.
+// repeated. --trace/--metrics/-http are the observability flags shared
+// with pigrun, experiments and faultsim: trace timeline export, metrics
+// registry dump, and the live HTTP introspection plane (/metrics,
+// /healthz, /jobs, /trace, pprof).
 package main
 
 import (
@@ -29,6 +33,8 @@ import (
 	"clusterbft/internal/core"
 	"clusterbft/internal/dfs"
 	"clusterbft/internal/mapred"
+	"clusterbft/internal/obs"
+	"clusterbft/internal/obs/introspect"
 	"clusterbft/internal/pig"
 )
 
@@ -59,6 +65,9 @@ func run() error {
 	policyName := flag.String("verify-policy", "full", "verification policy: full, quiz, deferred or auto")
 	show := flag.Int("show", 20, "output records to print per store")
 	explain := flag.Bool("explain", false, "print the replication structure after the run")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline here (a .jsonl twin is written next to it)")
+	metrics := flag.Bool("metrics", false, "print the metrics registry after the run")
+	httpAddr := flag.String("http", "", "serve live introspection (/metrics, /healthz, /jobs, /trace, pprof) on this address, e.g. :8080")
 	storageFlags := dfs.Flags(flag.CommandLine)
 	flag.Parse()
 
@@ -108,6 +117,38 @@ func run() error {
 	eng := mapred.NewEngine(fs, cl, core.NewOverlapScheduler(susp), mapred.DefaultCostModel())
 	ctrl := core.NewController(eng, cfg, susp, nil)
 
+	var reg *obs.Registry
+	if *metrics || *httpAddr != "" {
+		reg = obs.NewRegistry()
+		eng.InstrumentMetrics(reg)
+	}
+	var tracer *obs.Tracer
+	if *traceFile != "" || *httpAddr != "" {
+		tracer = obs.NewTracer(0)
+		if *traceFile != "" {
+			tracer.EnableWallClock(obs.WallUnixMicros)
+		}
+		eng.Trace = tracer
+	}
+	if *httpAddr != "" {
+		eng.Board = obs.NewJobsBoard()
+		srv, err := introspect.Start(*httpAddr, introspect.Options{
+			Registry: reg,
+			Tracer:   tracer,
+			Board:    eng.Board,
+			Cost:     func() any { return eng.Ledger.Buckets() },
+			SIDCost: func(sid string) (any, bool) {
+				b, ok := eng.Ledger.SIDBuckets(sid)
+				return b, ok
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("introspection: %s\n", srv.URL())
+	}
+
 	if err := checkLoadPaths(fs, string(src)); err != nil {
 		return err
 	}
@@ -132,6 +173,17 @@ func run() error {
 	if *explain {
 		fmt.Println()
 		fmt.Print(ctrl.Explain())
+	}
+	if *traceFile != "" {
+		twin, err := obs.WriteTraceFiles(tracer, *traceFile)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace: %s (chrome://tracing, Perfetto)  jsonl: %s  spans: %d  dropped: %d\n",
+			*traceFile, twin, tracer.Len(), tracer.Dropped())
+	}
+	if *metrics {
+		fmt.Printf("\nmetrics:\n%s", reg.RenderText())
 	}
 
 	var stores []string

@@ -5,25 +5,31 @@
 //	experiments [-exp all|fig9|fig10|table3|fig11|fig12|fig13|fig14|recovery|verifycost|outofcore]
 //	            [-scale small|paper] [-combine=on|off] [-verify-policy=full|quiz|deferred|auto]
 //	            [-block-size N] [-mem-budget 64m] [-spill-dir DIR] [-compress]
-//	            [--trace=run.json] [--metrics]
+//	            [--trace=run.json] [--metrics] [-http :8080]
 //
 // Each experiment prints rows shaped like the paper's (§6); see
 // EXPERIMENTS.md for the mapping and the expected shapes. --trace
 // collects every engine run's spans into one Chrome trace_event timeline
 // (plus a .jsonl twin); --metrics prints the accumulated registry after
-// all selected experiments.
+// all selected experiments. -http serves the live introspection plane
+// (/metrics, /healthz, /jobs, /trace, pprof) while the experiments run;
+// the registry and jobs board are shared across every engine the
+// experiments construct, and the /jobs cost buckets reflect the engine
+// currently executing.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync/atomic"
 
 	"clusterbft/internal/core"
 	"clusterbft/internal/dfs"
 	"clusterbft/internal/experiments"
 	"clusterbft/internal/mapred"
 	"clusterbft/internal/obs"
+	"clusterbft/internal/obs/introspect"
 )
 
 func main() {
@@ -33,23 +39,60 @@ func main() {
 	policyName := flag.String("verify-policy", "", "verification policy for every figure's controllers: full, quiz, deferred or auto (default: full)")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline here (a .jsonl twin is written next to it)")
 	metrics := flag.Bool("metrics", false, "print the accumulated metrics registry after the experiments")
+	httpAddr := flag.String("http", "", "serve live introspection (/metrics, /healthz, /jobs, /trace, pprof) on this address, e.g. :8080")
 	storageFlags := dfs.Flags(flag.CommandLine)
 	flag.Parse()
 
 	var reg *obs.Registry
 	var tracer *obs.Tracer
-	if *metrics {
+	var board *obs.JobsBoard
+	var cur atomic.Pointer[mapred.Engine]
+	if *metrics || *httpAddr != "" {
 		reg = obs.NewRegistry()
 	}
-	if *traceFile != "" {
+	if *traceFile != "" || *httpAddr != "" {
 		tracer = obs.NewTracer(0)
-		tracer.EnableWallClock(obs.WallUnixMicros)
+		if *traceFile != "" {
+			tracer.EnableWallClock(obs.WallUnixMicros)
+		}
 	}
-	if reg != nil || tracer != nil {
+	if *httpAddr != "" {
+		board = obs.NewJobsBoard()
+	}
+	if reg != nil || tracer != nil || board != nil {
 		experiments.Observe = func(e *mapred.Engine) {
 			e.InstrumentMetrics(reg)
 			e.Trace = tracer
+			e.Board = board
+			cur.Store(e)
 		}
+	}
+	if *httpAddr != "" {
+		srv, err := introspect.Start(*httpAddr, introspect.Options{
+			Registry: reg,
+			Tracer:   tracer,
+			Board:    board,
+			Cost: func() any {
+				if e := cur.Load(); e != nil {
+					return e.Ledger.Buckets()
+				}
+				return nil
+			},
+			SIDCost: func(sid string) (any, bool) {
+				if e := cur.Load(); e != nil {
+					if b, ok := e.Ledger.SIDBuckets(sid); ok {
+						return b, true
+					}
+				}
+				return nil, false
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Printf("introspection: %s\n", srv.URL())
 	}
 
 	var sc experiments.Scale
@@ -116,7 +159,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	if tracer != nil {
+	if *traceFile != "" {
 		twin, err := obs.WriteTraceFiles(tracer, *traceFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
@@ -125,7 +168,7 @@ func main() {
 		fmt.Printf("trace: %s (chrome://tracing, Perfetto)  jsonl: %s  spans: %d  dropped: %d\n",
 			*traceFile, twin, tracer.Len(), tracer.Dropped())
 	}
-	if reg != nil {
+	if *metrics {
 		fmt.Printf("\nmetrics:\n%s", reg.RenderText())
 	}
 }

@@ -19,6 +19,12 @@
 //	faultsim -chaos [-seed 7]        one seeded schedule end-to-end
 //	faultsim -campaign 200 [-seed 1] N schedules with invariant checks
 //
+// In chaos mode -http serves the live introspection plane (/metrics,
+// /healthz, /jobs, /trace, pprof) while the campaign runs; the registry,
+// jobs board and trace ring are shared across schedules, so a long
+// campaign can be watched converge. The cost buckets shown under /jobs
+// are the currently-running schedule's ledger.
+//
 // Both print the schedule(s), recovery actions and invariant outcomes;
 // the same seed always reproduces the same report byte-for-byte.
 // -verify-policy=full|quiz|deferred|auto runs the campaign's controllers
@@ -34,6 +40,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync/atomic"
 
 	"clusterbft/internal/analyze"
 	"clusterbft/internal/chaos"
@@ -41,7 +48,9 @@ import (
 	"clusterbft/internal/core"
 	"clusterbft/internal/dfs"
 	"clusterbft/internal/faultsim"
+	"clusterbft/internal/mapred"
 	"clusterbft/internal/obs"
+	"clusterbft/internal/obs/introspect"
 )
 
 func main() {
@@ -57,6 +66,7 @@ func main() {
 	chaosRun := flag.Bool("chaos", false, "run one seeded fault-injection schedule end-to-end (uses -seed)")
 	campaign := flag.Int("campaign", 0, "run N seeded fault-injection schedules with invariant checks (uses -seed as base)")
 	policyName := flag.String("verify-policy", "full", "chaos-mode verification policy: full, quiz, deferred or auto")
+	httpAddr := flag.String("http", "", "chaos mode: serve live introspection (/metrics, /healthz, /jobs, /trace, pprof) on this address, e.g. :8080")
 	storageFlags := dfs.Flags(flag.CommandLine)
 	flag.Parse()
 
@@ -81,6 +91,43 @@ func main() {
 		}
 		if *chaosRun && *campaign <= 0 {
 			cfg.Schedules = 1
+		}
+		if *httpAddr != "" {
+			reg := obs.NewRegistry()
+			tracer := obs.NewTracer(0)
+			board := obs.NewJobsBoard()
+			var cur atomic.Pointer[mapred.Engine]
+			cfg.Observe = func(e *mapred.Engine) {
+				e.InstrumentMetrics(reg)
+				e.Trace = tracer
+				e.Board = board
+				cur.Store(e)
+			}
+			srv, err := introspect.Start(*httpAddr, introspect.Options{
+				Registry: reg,
+				Tracer:   tracer,
+				Board:    board,
+				Cost: func() any {
+					if e := cur.Load(); e != nil {
+						return e.Ledger.Buckets()
+					}
+					return nil
+				},
+				SIDCost: func(sid string) (any, bool) {
+					if e := cur.Load(); e != nil {
+						if b, ok := e.Ledger.SIDBuckets(sid); ok {
+							return b, true
+						}
+					}
+					return nil, false
+				},
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "chaos:", err)
+				os.Exit(2)
+			}
+			defer srv.Close()
+			fmt.Printf("introspection: %s\n", srv.URL())
 		}
 		rep, err := chaos.RunCampaign(cfg)
 		if err != nil {

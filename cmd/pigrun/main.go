@@ -7,14 +7,19 @@
 //	pigrun -script q.pig -input data/edges=edges.tsv [-nodes 8] [-slots 3] [-show 20]
 //	       [-combine=on|off] [-verify-policy=full|quiz|deferred|auto]
 //	       [-block-size N] [-mem-budget 64m] [-spill-dir DIR] [-compress]
-//	       [--trace=run.json] [--metrics]
+//	       [--trace=run.json] [--metrics] [-http :8080] [-http-linger]
 //
 // -verify-policy leaves the baseline but runs the script under the BFT
 // controller with the given verification policy, so the same command
 // line can A/B the pure cost against each policy's 1+ε overhead.
 // --trace writes a Chrome trace_event JSON timeline (loadable in
 // chrome://tracing or Perfetto) plus a deterministic JSONL twin;
-// --metrics prints the full metrics registry after the run.
+// --metrics prints the full metrics registry after the run. -http
+// serves the live introspection plane while the run executes: /metrics
+// (Prometheus exposition), /healthz, /jobs and /jobs/{id} (JSON
+// progress, verification and cost-ledger state), /jobs/{id}/stragglers,
+// /trace (span ring as JSONL) and /debug/pprof. -http-linger keeps the
+// endpoints up after the run completes, until SIGINT/SIGTERM.
 package main
 
 import (
@@ -22,13 +27,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"clusterbft/internal/cluster"
 	"clusterbft/internal/core"
 	"clusterbft/internal/dfs"
 	"clusterbft/internal/mapred"
 	"clusterbft/internal/obs"
+	"clusterbft/internal/obs/introspect"
 	"clusterbft/internal/pig"
 )
 
@@ -57,6 +65,8 @@ func run() error {
 	explain := flag.Bool("explain", false, "print the logical plan and compiled jobs, then exit")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline here (a .jsonl twin is written next to it)")
 	metrics := flag.Bool("metrics", false, "print the metrics registry after the run")
+	httpAddr := flag.String("http", "", "serve live introspection (/metrics, /healthz, /jobs, /trace, pprof) on this address, e.g. :8080")
+	httpLinger := flag.Bool("http-linger", false, "with -http: keep serving introspection after the run completes, until interrupted")
 	storageFlags := dfs.Flags(flag.CommandLine)
 	flag.Parse()
 
@@ -131,15 +141,35 @@ func run() error {
 
 	eng := mapred.NewEngine(fs, cluster.New(*nodes, *slots), nil, mapred.DefaultCostModel())
 	var reg *obs.Registry
-	if *metrics {
+	if *metrics || *httpAddr != "" {
 		reg = obs.NewRegistry()
 		eng.InstrumentMetrics(reg)
 	}
 	var tracer *obs.Tracer
-	if *traceFile != "" {
+	if *traceFile != "" || *httpAddr != "" {
 		tracer = obs.NewTracer(0)
-		tracer.EnableWallClock(obs.WallUnixMicros)
+		if *traceFile != "" {
+			tracer.EnableWallClock(obs.WallUnixMicros)
+		}
 		eng.Trace = tracer
+	}
+	if *httpAddr != "" {
+		eng.Board = obs.NewJobsBoard()
+		srv, err := introspect.Start(*httpAddr, introspect.Options{
+			Registry: reg,
+			Tracer:   tracer,
+			Board:    eng.Board,
+			Cost:     func() any { return eng.Ledger.Buckets() },
+			SIDCost: func(sid string) (any, bool) {
+				b, ok := eng.Ledger.SIDBuckets(sid)
+				return b, ok
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("introspection: %s\n", srv.URL())
 	}
 	// outPath maps a STORE path to where its records actually live: the
 	// script's own path on the baseline, the controller's verified copy
@@ -187,7 +217,7 @@ func run() error {
 			float64(makespan)/1e6, float64(eng.Metrics.CPUTimeUs)/1e6, eng.Metrics.JobsCompleted)
 	}
 
-	if tracer != nil {
+	if *traceFile != "" {
 		twin, err := obs.WriteTraceFiles(tracer, *traceFile)
 		if err != nil {
 			return err
@@ -195,7 +225,7 @@ func run() error {
 		fmt.Printf("trace: %s (chrome://tracing, Perfetto)  jsonl: %s  spans: %d  dropped: %d\n",
 			*traceFile, twin, tracer.Len(), tracer.Dropped())
 	}
-	if reg != nil {
+	if *metrics {
 		fmt.Printf("\nmetrics:\n%s", reg.RenderText())
 	}
 
@@ -212,6 +242,15 @@ func run() error {
 			}
 			fmt.Println(" ", l)
 		}
+	}
+
+	// -http-linger keeps the introspection endpoints live after the run
+	// so scripts (and the CI smoke check) can scrape the final state.
+	if *httpAddr != "" && *httpLinger {
+		fmt.Println("lingering: introspection stays up until SIGINT/SIGTERM")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
 	}
 	return nil
 }

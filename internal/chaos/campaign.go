@@ -30,6 +30,10 @@ type CampaignConfig struct {
 	// NetOps, when > 0, additionally runs that many operations through a
 	// BFT replica group under the schedule's network perturbations.
 	NetOps int
+	// Observe, when set, is called with every freshly built engine (the
+	// baseline's and each schedule's) before the run starts, so a caller
+	// can attach metrics, tracing, or a jobs board to a live campaign.
+	Observe func(*mapred.Engine)
 }
 
 // DefaultCampaign is a three-sub-graph chain on a small weather workload:
@@ -240,6 +244,9 @@ func newRun(cfg CampaignConfig) *chaosRun {
 	cl := cluster.New(cfg.Nodes, cfg.Slots)
 	susp := core.NewSuspicionTable(cfg.Core.SuspicionThreshold)
 	eng := mapred.NewEngine(fs, cl, core.NewOverlapScheduler(susp), mapred.DefaultCostModel())
+	if cfg.Observe != nil {
+		cfg.Observe(eng)
+	}
 	ctrl := core.NewController(eng, cfg.Core, susp, nil)
 	return &chaosRun{fs: fs, cl: cl, eng: eng, ctrl: ctrl}
 }
@@ -305,6 +312,13 @@ func runOne(cfg CampaignConfig, sched *Schedule, baseline map[string][]string) S
 	// with a rejoin inside the drained event horizon).
 	if free, total := h.eng.FreeSlotsTotal(), h.cl.TotalSlots(); free != total {
 		bad("slot leak: free=%d total=%d", free, total)
+	}
+	// I6: cost attribution is complete — after the simulation drains,
+	// every CPU microsecond the engine charged must sit in exactly one
+	// ledger bucket (committed, replica waste, verify, recovery rerun).
+	if got, want := h.eng.Ledger.Buckets().TotalUs(), h.eng.Metrics.CPUTimeUs; got != want {
+		bad("cost ledger leak: buckets sum to %dus but engine charged %dus (unattributed=%d)",
+			got, want, want-got)
 	}
 	// I3: a verified run's outputs are byte-identical to the clean run.
 	if err == nil && res != nil {

@@ -1,0 +1,36 @@
+package chaos
+
+import (
+	"testing"
+
+	"clusterbft/internal/core"
+)
+
+// TestChaosLedgerInvariantAllPolicies runs a short campaign under every
+// verification policy purely for invariant I6: whatever the schedule
+// does — crashes, manglings, omissions, escalations, failed runs — the
+// cost ledger's buckets must partition the engine's charged CPU exactly
+// once the simulation drains. Violations (I6 among them) surface in the
+// report.
+func TestChaosLedgerInvariantAllPolicies(t *testing.T) {
+	for _, p := range []core.Policy{core.PolicyFull, core.PolicyQuiz, core.PolicyDeferred, core.PolicyAuto} {
+		t.Run(p.String(), func(t *testing.T) {
+			cfg := DefaultCampaign()
+			cfg.Schedules = 25
+			if testing.Short() {
+				cfg.Schedules = 8
+			}
+			cfg.Core.VerifyPolicy = p
+			if p != core.PolicyFull {
+				cfg.Core.QuizFraction = 1
+			}
+			rep, err := RunCampaign(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range rep.Violations() {
+				t.Errorf("invariant violation: %s", v)
+			}
+		})
+	}
+}

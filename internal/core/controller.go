@@ -516,9 +516,16 @@ func (c *Controller) tryLaunch(cs *clusterState) {
 		// The superseded attempt's digests are still needed for the
 		// downstream restart decisions at verification; sweep then.
 		cs.staleSids = append(cs.staleSids, cs.sid)
+		c.Eng.Ledger.Supersede(cs.sid)
+		c.Eng.Board.SIDState(cs.sid, "superseded", -1)
 	}
 	cs.sid = fmt.Sprintf("run%d-c%d-a%d", c.runSeq, cs.id, cs.attempt)
 	c.sidIndex[cs.sid] = cs
+	c.Eng.Ledger.Launch(cs.sid, cs.policy.String())
+	c.Eng.Board.SetSID(obs.SIDStatus{
+		SID: cs.sid, Cluster: cs.id, Attempt: cs.totalTries, Replicas: cs.r,
+		Policy: cs.policy.String(), State: "running", Winner: -1,
+	})
 	cs.sources = make(map[int]sourceRef)
 	for _, u := range cs.upstream {
 		up := c.clusters[u]
@@ -743,6 +750,8 @@ func (c *Controller) markVerified(cs *clusterState, winner int, deviants []int) 
 	c.notify("verify", cs)
 	cs.winner = winner
 	cs.winnerFP = c.matcher.Fingerprint(cs.sid, cs.winner)
+	c.Eng.Ledger.Verified(cs.sid, winner)
+	c.Eng.Board.SIDState(cs.sid, "verified", winner)
 	c.Eng.Trace.Record("verify", "verifier", cs.sid, cs.launchedAtV, cs.verifiedAt,
 		obs.AI("winner", int64(cs.winner)), obs.AI("deviants", int64(len(deviants))))
 	for _, rep := range deviants {
@@ -1030,6 +1039,34 @@ func (c *Controller) markFaulty(cs *clusterState, rs *repState) {
 		obs.AI("replica", int64(rs.idx)), obs.AI("nodes", int64(len(sorted))))
 	c.Susp.RecordFault(sorted)
 	c.FA.Report(nodes)
+	if c.Eng.Board != nil {
+		names := make([]string, len(sorted))
+		for i, n := range sorted {
+			names[i] = string(n)
+		}
+		c.Eng.Board.SIDFaulty(cs.sid, rs.idx, names)
+		c.pushSuspicion()
+	}
+}
+
+// pushSuspicion mirrors the suspicion table into the jobs board so the
+// /jobs endpoint can serve it without touching controller state from
+// HTTP goroutines. Called at decision points on the simulation
+// goroutine.
+func (c *Controller) pushSuspicion() {
+	b := c.Eng.Board
+	if b == nil {
+		return
+	}
+	h := c.Susp.Histogram()
+	st := obs.SuspicionStatus{Low: h[Low], Med: h[Med], High: h[High]}
+	for _, n := range c.Susp.Suspects() {
+		st.Suspects = append(st.Suspects, string(n))
+		if c.Susp.Excluded(n) {
+			st.Excluded = append(st.Excluded, string(n))
+		}
+	}
+	b.SetSuspicion(st)
 }
 
 func (c *Controller) killReplica(rs *repState) {
@@ -1057,6 +1094,7 @@ func (c *Controller) retry(cs *clusterState, omission bool) {
 				c.Susp.RecordFault(sorted)
 			}
 		}
+		c.pushSuspicion()
 	}
 	for _, rs := range cs.replicas {
 		c.killReplica(rs)
@@ -1142,6 +1180,8 @@ func (c *Controller) restart(root *clusterState) {
 // worklist, and unlaunched consumers are fenced by sourcesReady.
 func (c *Controller) failCluster(cs *clusterState) {
 	cs.failed = true
+	c.Eng.Ledger.Supersede(cs.sid)
+	c.Eng.Board.SIDState(cs.sid, "failed", -1)
 	c.notify("fail", cs)
 	c.fail(fmt.Errorf("core: sub-graph c%d exhausted %d attempts", cs.id, cs.totalTries))
 }

@@ -25,6 +25,10 @@ type VerifyCostRow struct {
 	DetectUs int64
 	// RecoverUs is the faulty run's total latency (detection + rerun).
 	RecoverUs int64
+	// Cost is the fault-free run's cost-attribution ledger: where the
+	// policy's CPU went (committed output vs replica waste vs
+	// verification redundancy; recovery_rerun is zero fault-free).
+	Cost mapred.CostBuckets
 }
 
 // VerifyCostResult is the overhead-vs-detection-latency table for the
@@ -36,7 +40,9 @@ type VerifyCostResult struct {
 	PureUs int64
 	// PureCPUUs is the unreplicated, unverified engine CPU total.
 	PureCPUUs int64
-	Rows      []VerifyCostRow
+	// PureCost is the pure run's ledger: all committed, by definition.
+	PureCost mapred.CostBuckets
+	Rows     []VerifyCostRow
 }
 
 // Render prints the table with ratios against the full-r policy.
@@ -47,7 +53,11 @@ func (r *VerifyCostResult) Render() string {
 			fullCPU = row.CPUUs
 		}
 	}
-	rows := [][]string{{"pure", seconds(r.PureUs), seconds(r.PureCPUUs), "-", "-", "-", "-"}}
+	rows := [][]string{{
+		"pure", seconds(r.PureUs), seconds(r.PureCPUUs), "-", "-",
+		seconds(r.PureCost.CommittedUs), seconds(r.PureCost.VerifyUs()),
+		seconds(r.PureCost.ReplicaWasteUs), "-", "-",
+	}}
 	for _, row := range r.Rows {
 		rows = append(rows, []string{
 			row.Policy,
@@ -55,12 +65,16 @@ func (r *VerifyCostResult) Render() string {
 			seconds(row.CPUUs),
 			ratio(row.CPUUs, fullCPU),
 			fmt.Sprintf("%d", row.QuizTasks),
+			seconds(row.Cost.CommittedUs),
+			seconds(row.Cost.VerifyUs()),
+			seconds(row.Cost.ReplicaWasteUs),
 			seconds(row.DetectUs),
 			seconds(row.RecoverUs),
 		})
 	}
 	return r.Name + "\n" + table(
-		[]string{"policy", "latency(s)", "cpu(s)", "cpu/full", "quizzes", "detect(s)", "recover(s)"}, rows)
+		[]string{"policy", "latency(s)", "cpu(s)", "cpu/full", "quizzes",
+			"committed(s)", "verify(s)", "waste(s)", "detect(s)", "recover(s)"}, rows)
 }
 
 // verifyCostConfig is the shared controller setup: f=1, marker points,
@@ -102,6 +116,7 @@ func VerifyCost(sc Scale) (*VerifyCostResult, error) {
 	}
 	res.PureUs = lat
 	res.PureCPUUs = pure.eng.Metrics.CPUTimeUs
+	res.PureCost = pure.eng.Ledger.Buckets()
 
 	for _, p := range []core.Policy{core.PolicyFull, core.PolicyQuiz, core.PolicyDeferred} {
 		row := VerifyCostRow{Policy: p.String()}
@@ -115,6 +130,7 @@ func VerifyCost(sc Scale) (*VerifyCostResult, error) {
 		row.LatencyUs = cr.LatencyUs
 		row.CPUUs = cr.Metrics.CPUTimeUs
 		row.QuizTasks = r.eng.QuizTasks
+		row.Cost = r.eng.Ledger.Buckets()
 
 		// Detection latency under a commission-faulty primary.
 		cfg := verifyCostConfig(p)

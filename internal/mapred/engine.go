@@ -122,6 +122,12 @@ type JobState struct {
 
 	runnableTime int64 // when the job's map tasks entered the ready queue
 	mapsDoneTime int64 // when the last map task committed
+
+	// Per-(job, stage) committed-duration histograms, registered as
+	// labeled families {job, stage} when the engine has a registry; nil
+	// (free) otherwise.
+	obsMapDur *obs.Histogram
+	obsRedDur *obs.Histogram
 }
 
 type runningTask struct {
@@ -194,6 +200,17 @@ type Engine struct {
 	// virtual timeline. Nil (the default) disables tracing; the
 	// instrumentation is nil-safe and allocation-free when disabled.
 	Trace *obs.Tracer
+
+	// Board, when set, mirrors live job/task state for the introspection
+	// server's /jobs endpoints. Nil (the default) is free: every hook is
+	// a nil-safe no-op.
+	Board *obs.JobsBoard
+
+	// Ledger attributes every charged CPU microsecond to a cost bucket
+	// (committed / replica_waste / verify / recovery_rerun). Always
+	// present: NewEngine creates one, and the invariant that its buckets
+	// sum to Metrics.CPUTimeUs at quiesce is pinned by tests.
+	Ledger *CostLedger
 
 	// TaskHook, when set, is consulted on the simulation goroutine at
 	// every task dispatch, after the node adversary's own draw, and may
@@ -278,6 +295,7 @@ func NewEngine(fs *dfs.FS, cl *cluster.Cluster, sched Scheduler, cost CostModel)
 		Cluster:        cl,
 		Sched:          sched,
 		Cost:           cost,
+		Ledger:         NewCostLedger(),
 		SpecLagFactor:  2.0,
 		SpecIntervalUs: 1_000_000,
 		jobs:           make(map[string]*JobState),
@@ -325,6 +343,15 @@ func (e *Engine) InstrumentMetrics(reg *obs.Registry) {
 	e.obsCPUCommitted = reg.Counter("mapred.cpu_committed_us")
 	e.obsCPULost = reg.Counter("mapred.cpu_lost_us")
 	e.obsTaskDur = reg.Histogram("mapred.task_duration_us", obs.DurationBucketsUs)
+	led := e.Ledger
+	reg.Help("cost.cpu_us", "CPU microseconds attributed by the cost ledger; buckets sum to mapred.metrics.cpu_time_us at quiesce")
+	reg.With("bucket", "committed").Func("cost.cpu_us", func() int64 { return led.Buckets().CommittedUs })
+	reg.With("bucket", "replica_waste").Func("cost.cpu_us", func() int64 { return led.Buckets().ReplicaWasteUs })
+	reg.With("bucket", "verify", "mode", CostModeFull).Func("cost.cpu_us", func() int64 { return led.Buckets().VerifyFullUs })
+	reg.With("bucket", "verify", "mode", CostModeQuiz).Func("cost.cpu_us", func() int64 { return led.Buckets().VerifyQuizUs })
+	reg.With("bucket", "verify", "mode", CostModeDeferred).Func("cost.cpu_us", func() int64 { return led.Buckets().VerifyDeferredUs })
+	reg.With("bucket", "recovery_rerun").Func("cost.cpu_us", func() int64 { return led.Buckets().RecoveryRerunUs })
+	reg.With("bucket", "in_flight").Func("cost.cpu_us", func() int64 { return m.CPUTimeUs - led.TotalUs() })
 	e.obsDigestRecs = reg.Counter("digest.records")
 	e.obsTask = taskObs{
 		mapRecords:     reg.Counter("mapred.task.map_records"),
@@ -389,6 +416,7 @@ func (e *Engine) Submit(spec *JobSpec) (*JobState, error) {
 			d.dependents = append(d.dependents, js)
 		}
 	}
+	e.Board.JobSubmitted(spec.ID, spec.SID, spec.Replica, e.now)
 	if js.depsLeft == 0 {
 		e.makeRunnable(js)
 	}
@@ -427,6 +455,11 @@ func (e *Engine) makeRunnable(js *JobState) {
 		}
 	}
 	js.mapOutcomes = make([]*mapOutcome, js.mapsTotal)
+	e.Board.JobStages(js.Spec.ID, js.mapsTotal, -1)
+	if e.obsReg != nil {
+		js.obsMapDur = e.obsReg.With("job", baseID(js.Spec.ID), "stage", "map").
+			Histogram("mapred.stage_task_duration_us", obs.DurationBucketsUs)
+	}
 	e.armTick()
 }
 
@@ -586,6 +619,7 @@ func (e *Engine) startTask(node *cluster.Node, t *Task) {
 	}
 	rt := &runningTask{task: t, node: node.ID, start: e.now, wallStart: e.Trace.WallNow()}
 	js.running[t.ID()] = append(js.running[t.ID()], rt)
+	e.Board.TaskStarted(js.Spec.ID)
 
 	// Byzantine behaviour draw (§2.3). Drawn here, not in the body, so
 	// the adversary's seeded RNG advances in deterministic dispatch
@@ -667,6 +701,9 @@ func (e *Engine) settle() {
 			e.Metrics.TasksHung++
 			// The withheld result never commits: its CPU is lost work.
 			e.obsCPULost.Add(dur)
+			spec := p.rt.task.Job.Spec
+			e.Ledger.ResolveLost(spec.SID, spec.Replica, dur)
+			e.Board.TaskHung(spec.ID)
 			e.Trace.Instant("fault", string(p.rt.node), p.rt.task.ID()+" hung", e.now,
 				obs.A("job", p.rt.task.Job.Spec.ID))
 			continue // no completion event: the node withholds the result
@@ -685,18 +722,29 @@ func (e *Engine) scheduleCommit(p pendingBody, dur int64, commit func()) {
 	e.After(dur, func() {
 		if rt.dead {
 			e.obsCPULost.Add(dur) // torn down before its completion fired
+			e.Ledger.ResolveLost(js.Spec.SID, js.Spec.Replica, dur)
+			e.Board.TaskLost(js.Spec.ID)
 			return
 		}
 		e.unlink(js, t.ID(), rt)
 		e.releaseSlot(rt.node)
 		if js.Killed || js.committed[t.ID()] {
 			e.obsCPULost.Add(dur) // job gone, or a backup raced us and won
+			e.Ledger.ResolveLost(js.Spec.SID, js.Spec.Replica, dur)
+			e.Board.TaskLost(js.Spec.ID)
 			e.armTick()
 			return
 		}
 		js.committed[t.ID()] = true
 		e.obsCPUCommitted.Add(dur)
 		e.obsTaskDur.Observe(dur)
+		e.Ledger.ResolveCommitted(js.Spec.SID, js.Spec.Replica, dur)
+		e.Board.TaskCommitted(js.Spec.ID, t.Kind.String(), t.ID(), dur)
+		if t.Kind == MapTask {
+			js.obsMapDur.Observe(dur)
+		} else {
+			js.obsRedDur.Observe(dur)
+		}
 		if e.Trace != nil {
 			e.Trace.Emit(obs.Span{
 				Cat: "task", Track: string(rt.node), Name: t.ID(),
@@ -872,6 +920,11 @@ func (e *Engine) mapsFinished(js *JobState) {
 	for r := 0; r < js.redsTotal; r++ {
 		e.ready = append(e.ready, &Task{Job: js, Kind: ReduceTask, Index: r})
 	}
+	e.Board.JobStages(js.Spec.ID, -1, js.redsTotal)
+	if e.obsReg != nil {
+		js.obsRedDur = e.obsReg.With("job", baseID(js.Spec.ID), "stage", "reduce").
+			Histogram("mapred.stage_task_duration_us", obs.DurationBucketsUs)
+	}
 	e.armTick()
 }
 
@@ -981,6 +1034,7 @@ func (e *Engine) completeJob(js *JobState) {
 		delete(js.running, tid)
 	}
 	e.Metrics.JobsCompleted++
+	e.Board.JobDone(js.Spec.ID, e.now)
 	for _, dep := range js.dependents {
 		dep.depsLeft--
 		if dep.depsLeft == 0 {
@@ -1015,6 +1069,7 @@ func (e *Engine) KillJob(id string) {
 		}
 	}
 	e.ready = keep
+	e.Board.JobKilled(id, e.now)
 	e.armTick()
 }
 
@@ -1264,6 +1319,7 @@ func (e *Engine) Requiz(jobID, taskID string, quizReplica int, sink func(digest.
 	res := pool.Go(e.bodyPool(), body).Wait()
 	e.Metrics.CPUTimeUs += res.dur
 	e.obsCPUCommitted.Add(res.dur)
+	e.Ledger.Quiz(js.Spec.SID, res.dur)
 	e.QuizTasks++
 	e.Trace.Instant("quiz", "trusted", jobID+"/"+taskID, e.now)
 	e.After(res.dur, func() {
@@ -1325,4 +1381,5 @@ func (e *Engine) ForgetSID(sid string) {
 	if f, ok := e.Sched.(SIDForgetter); ok {
 		f.ForgetSID(sid)
 	}
+	e.Ledger.Fold(sid)
 }

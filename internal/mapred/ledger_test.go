@@ -1,0 +1,175 @@
+package mapred
+
+import (
+	"testing"
+
+	"clusterbft/internal/cluster"
+)
+
+// checkLedgerInvariant pins the tentpole claim: every CPU microsecond
+// the engine charged sits in exactly one ledger bucket once the run has
+// drained, so in-flight residue is zero.
+func checkLedgerInvariant(t *testing.T, e *Engine) CostBuckets {
+	t.Helper()
+	b := e.Ledger.Buckets()
+	if got, want := b.TotalUs(), e.Metrics.CPUTimeUs; got != want {
+		t.Errorf("ledger buckets sum to %dus, engine charged %dus (in_flight=%d)",
+			got, want, want-got)
+	}
+	return b
+}
+
+// TestLedgerPlainRunAllCommitted: an honest unreplicated run has no
+// verification, no waste, no recovery — the whole spend is committed.
+func TestLedgerPlainRunAllCommitted(t *testing.T) {
+	tr := run(t, followerSrc, map[string][]string{"in/edges": edges()}, CompileOptions{NumReduces: 2}, nil)
+	b := checkLedgerInvariant(t, tr.eng)
+	if b.CommittedUs == 0 || b.CommittedUs != tr.eng.Metrics.CPUTimeUs {
+		t.Errorf("plain run: committed=%d, want the full %dus", b.CommittedUs, tr.eng.Metrics.CPUTimeUs)
+	}
+	if b.ReplicaWasteUs != 0 || b.VerifyUs() != 0 || b.RecoveryRerunUs != 0 {
+		t.Errorf("plain run charged non-committed buckets: %+v", b)
+	}
+}
+
+// TestLedgerSpeculationWaste: a hung attempt rescued by a speculative
+// backup is charged CPU that never served anyone — it must land in
+// replica_waste, and the sum invariant must survive the rescue.
+func TestLedgerSpeculationWaste(t *testing.T) {
+	eng, jobs := specFixture(t, 6, 2, true)
+	if err := eng.Cluster.SetAdversary("node-001", cluster.FaultOmission, 1.0, 3); err != nil {
+		t.Fatal(err)
+	}
+	js, err := eng.Submit(jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if eng.Metrics.TasksHung == 0 {
+		t.Skip("omission node got no tasks in this layout")
+	}
+	if !js.Done {
+		t.Fatal("speculation failed to rescue the job")
+	}
+	b := checkLedgerInvariant(t, eng)
+	if b.ReplicaWasteUs == 0 {
+		t.Error("hung attempts charged no replica_waste")
+	}
+	if b.CommittedUs == 0 {
+		t.Error("rescued run committed nothing")
+	}
+}
+
+// TestLedgerRoutingVerified unit-tests disposition routing: after a
+// verdict, the winner's committed work is real output, the losers'
+// committed work is verification redundancy, lost work is waste, and
+// quiz CPU lands in the mode's verify bucket.
+func TestLedgerRoutingVerified(t *testing.T) {
+	l := NewCostLedger()
+	l.Launch("s1", CostModeQuiz)
+	l.ResolveCommitted("s1", 0, 100)
+	l.ResolveCommitted("s1", 1, 80)
+	l.ResolveLost("s1", 1, 30)
+	l.Quiz("s1", 25)
+
+	// Live sid: committed work provisionally counts as committed.
+	if b, ok := l.SIDBuckets("s1"); !ok || b.CommittedUs != 180 || b.ReplicaWasteUs != 30 || b.VerifyQuizUs != 25 {
+		t.Errorf("live routing = %+v (ok=%v)", b, ok)
+	}
+
+	l.Verified("s1", 0)
+	b, ok := l.SIDBuckets("s1")
+	if !ok {
+		t.Fatal("verified sid vanished")
+	}
+	want := CostBuckets{CommittedUs: 100, ReplicaWasteUs: 30, VerifyQuizUs: 80 + 25}
+	if b != want {
+		t.Errorf("verified routing = %+v, want %+v", b, want)
+	}
+	if got := l.TotalUs(); got != 235 {
+		t.Errorf("TotalUs = %d, want 235", got)
+	}
+}
+
+// TestLedgerRoutingSuperseded: a superseded attempt group's entire spend
+// — committed, lost, and quiz alike — is recovery re-run cost.
+func TestLedgerRoutingSuperseded(t *testing.T) {
+	l := NewCostLedger()
+	l.Launch("s1", CostModeFull)
+	l.ResolveCommitted("s1", 0, 100)
+	l.ResolveLost("s1", 2, 40)
+	l.Quiz("s1", 10)
+	l.Supersede("s1")
+	b, _ := l.SIDBuckets("s1")
+	if b != (CostBuckets{RecoveryRerunUs: 150}) {
+		t.Errorf("superseded routing = %+v, want all 150us in recovery_rerun", b)
+	}
+}
+
+// TestLedgerFoldAndLateArrivals: folding settles a sid's attribution and
+// drops its state; resolutions arriving after the fold (a dead
+// straggler's completion event firing after the replacement verified)
+// must still land in a bucket so the sum invariant cannot drift.
+func TestLedgerFoldAndLateArrivals(t *testing.T) {
+	l := NewCostLedger()
+	l.Launch("s1", CostModeFull)
+	l.ResolveCommitted("s1", 0, 50)
+	l.Supersede("s1")
+	l.Fold("s1")
+	if _, ok := l.SIDBuckets("s1"); ok {
+		t.Error("folded sid still resolvable via SIDBuckets")
+	}
+	if b := l.Buckets(); b.RecoveryRerunUs != 50 {
+		t.Errorf("settled = %+v, want 50us recovery_rerun", b)
+	}
+	// Late work on a superseded sid is recovery re-run by definition.
+	l.ResolveLost("s1", 1, 7)
+	l.ResolveCommitted("s1", 1, 3)
+	l.Quiz("s1", 2)
+	if b := l.Buckets(); b.RecoveryRerunUs != 62 || b.TotalUs() != 62 {
+		t.Errorf("after late arrivals = %+v, want 62us recovery_rerun", b)
+	}
+
+	// A verified sid folded at teardown keeps its attribution; late lost
+	// work (impossible in practice, defensive) stays waste not committed.
+	l.Launch("s2", CostModeDeferred)
+	l.ResolveCommitted("s2", 0, 20)
+	l.Verified("s2", 0)
+	l.Fold("s2")
+	l.ResolveLost("s2", 0, 5)
+	b := l.Buckets()
+	if b.CommittedUs != 20 || b.ReplicaWasteUs != 5 {
+		t.Errorf("verified fold + late = %+v", b)
+	}
+
+	// Folding a still-live sid (end-of-run teardown of failed work)
+	// treats it as superseded.
+	l.Launch("s3", CostModeQuiz)
+	l.ResolveCommitted("s3", 0, 9)
+	l.Fold("s3")
+	if b := l.Buckets(); b.RecoveryRerunUs != 62+9 {
+		t.Errorf("live fold = %+v, want live spend in recovery_rerun", b)
+	}
+}
+
+// TestLedgerNilSafe: a nil ledger ignores everything, like the rest of
+// the obs plane.
+func TestLedgerNilSafe(t *testing.T) {
+	var l *CostLedger
+	l.Launch("s", CostModeFull)
+	l.ResolveCommitted("s", 0, 1)
+	l.ResolveLost("s", 0, 1)
+	l.Quiz("s", 1)
+	l.Verified("s", 0)
+	l.Supersede("s")
+	l.Fold("s")
+	if b := l.Buckets(); b != (CostBuckets{}) {
+		t.Errorf("nil ledger accumulated %+v", b)
+	}
+	if _, ok := l.SIDBuckets("s"); ok {
+		t.Error("nil ledger resolved a sid")
+	}
+	if l.TotalUs() != 0 {
+		t.Error("nil ledger non-zero total")
+	}
+}

@@ -129,146 +129,370 @@ func (h *Histogram) BucketCount(i int) int64 {
 	return h.counts[i].Load()
 }
 
+// Label is one key=value pair attached to an instrument family member.
+type Label struct {
+	K string
+	V string
+}
+
+// seriesKey identifies one instrument: its kind, base name, and the
+// canonical label suffix (empty for unlabeled instruments). Keying the
+// registry by the full triple lets the same base name carry many label
+// sets, and keeps register-or-get semantics per (kind, name, labels).
+type seriesKey struct {
+	kind   string
+	name   string
+	suffix string
+}
+
+// series is one registered instrument plus the metadata the snapshot
+// and exposition encoders need (base name, parsed labels).
+type series struct {
+	key    seriesKey
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+	fn     func() int64
+}
+
 // Registry is a named collection of instruments. Register-or-get
-// methods return the existing instrument when the name is taken, so
-// components created in sequence (e.g. one engine per experiment rig)
-// accumulate into shared counters. Func gauges are read-only views over
-// external state (the mapred.Metrics compatibility view); re-registering
-// a func name replaces the reader.
+// methods return the existing instrument when the (kind, name, labels)
+// triple is taken, so components created in sequence (e.g. one engine
+// per experiment rig) accumulate into shared counters. Func gauges are
+// read-only views over external state (the mapred.Metrics compatibility
+// view); re-registering a func name replaces the reader.
+//
+// Labeled families are registered through With: reg.With("policy",
+// "quiz").Counter("verify.tasks") creates the series
+// verify.tasks{policy="quiz"}. Label resolution happens once at
+// registration; the returned instruments are the same atomic types as
+// unlabeled ones, so hot-path Add/Observe stays allocation-free.
 //
 // All methods are nil-safe: a nil *Registry hands out nil instruments,
 // which are themselves no-ops, so "metrics off" needs no wiring at all.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	hists    map[string]*Histogram
-	funcs    map[string]func() int64
+	mu     sync.Mutex
+	series map[seriesKey]*series
+	help   map[string]string
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
-		funcs:    make(map[string]func() int64),
+		series: make(map[seriesKey]*series),
+		help:   make(map[string]string),
 	}
+}
+
+// get registers (or returns the existing) series for key.
+func (r *Registry) get(key seriesKey, labels []Label) *series {
+	s := r.series[key]
+	if s == nil {
+		s = &series{key: key, labels: labels}
+		r.series[key] = s
+	}
+	return s
 }
 
 // Counter registers (or returns the existing) counter under name.
 func (r *Registry) Counter(name string) *Counter {
+	return r.counter(name, nil, "")
+}
+
+func (r *Registry) counter(name string, labels []Label, suffix string) *Counter {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c := r.counters[name]
-	if c == nil {
-		c = &Counter{}
-		r.counters[name] = c
+	s := r.get(seriesKey{kind: KindCounter, name: name, suffix: suffix}, labels)
+	if s.c == nil {
+		s.c = &Counter{}
 	}
-	return c
+	return s.c
 }
 
 // Gauge registers (or returns the existing) gauge under name.
 func (r *Registry) Gauge(name string) *Gauge {
+	return r.gauge(name, nil, "")
+}
+
+func (r *Registry) gauge(name string, labels []Label, suffix string) *Gauge {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	g := r.gauges[name]
-	if g == nil {
-		g = &Gauge{}
-		r.gauges[name] = g
+	s := r.get(seriesKey{kind: KindGauge, name: name, suffix: suffix}, labels)
+	if s.g == nil {
+		s.g = &Gauge{}
 	}
-	return g
+	return s.g
 }
 
 // Histogram registers (or returns the existing) histogram under name.
 // bounds are ascending upper bounds; they are fixed at first
 // registration and later bounds arguments for the same name are ignored.
 func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	return r.histogram(name, bounds, nil, "")
+}
+
+func (r *Registry) histogram(name string, bounds []int64, labels []Label, suffix string) *Histogram {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	h := r.hists[name]
-	if h == nil {
+	s := r.get(seriesKey{kind: KindHist, name: name, suffix: suffix}, labels)
+	if s.h == nil {
 		b := make([]int64, len(bounds))
 		copy(b, bounds)
-		h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
-		r.hists[name] = h
+		s.h = &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
 	}
-	return h
+	return s.h
 }
 
 // Func registers a read-only gauge computed at snapshot time. Replaces
 // any previous func under the same name.
 func (r *Registry) Func(name string, fn func() int64) {
+	r.fnGauge(name, fn, nil, "")
+}
+
+func (r *Registry) fnGauge(name string, fn func() int64, labels []Label, suffix string) {
 	if r == nil || fn == nil {
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.funcs[name] = fn
+	s := r.get(seriesKey{kind: KindFunc, name: name, suffix: suffix}, labels)
+	s.fn = fn
 }
+
+// Help records the HELP text rendered for every series of the named
+// family by the Prometheus exposition encoder. Plain-text snapshots
+// ignore it.
+func (r *Registry) Help(name, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = text
+	r.mu.Unlock()
+}
+
+// View is a registry handle with a fixed label set. Instruments
+// registered through a View become members of labeled families; the
+// label set is canonicalised (key-sorted, escaped) once, when the View
+// is built, so registration through a long-lived View adds no per-call
+// label work beyond a map lookup.
+//
+// A nil View (from a nil Registry) hands out nil instruments, keeping
+// the whole chain nil-safe: reg.With("a", "b").Counter("x").Inc() is a
+// no-op when reg is nil.
+type View struct {
+	r      *Registry
+	labels []Label
+	suffix string
+}
+
+// With returns a View whose instruments carry the given label pairs
+// (key1, value1, key2, value2, ...). A trailing odd argument is
+// ignored. Keys are sorted, so With("a","1","b","2") and
+// With("b","2","a","1") address the same series.
+func (r *Registry) With(kv ...string) *View {
+	if r == nil {
+		return nil
+	}
+	n := len(kv) / 2
+	labels := make([]Label, 0, n)
+	for i := 0; i+1 < len(kv); i += 2 {
+		labels = append(labels, Label{K: kv[i], V: kv[i+1]})
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i].K < labels[j].K })
+	return &View{r: r, labels: labels, suffix: labelSuffix(labels)}
+}
+
+// With extends the view's label set with more pairs, returning a new
+// View. The receiver is unchanged.
+func (v *View) With(kv ...string) *View {
+	if v == nil {
+		return nil
+	}
+	flat := make([]string, 0, len(v.labels)*2+len(kv))
+	for _, l := range v.labels {
+		flat = append(flat, l.K, l.V)
+	}
+	flat = append(flat, kv...)
+	return v.r.With(flat...)
+}
+
+// Counter registers (or returns the existing) labeled counter.
+func (v *View) Counter(name string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.r.counter(name, v.labels, v.suffix)
+}
+
+// Gauge registers (or returns the existing) labeled gauge.
+func (v *View) Gauge(name string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.r.gauge(name, v.labels, v.suffix)
+}
+
+// Histogram registers (or returns the existing) labeled histogram.
+func (v *View) Histogram(name string, bounds []int64) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.r.histogram(name, bounds, v.labels, v.suffix)
+}
+
+// Func registers a labeled read-only gauge computed at snapshot time.
+func (v *View) Func(name string, fn func() int64) {
+	if v == nil {
+		return
+	}
+	v.r.fnGauge(name, fn, v.labels, v.suffix)
+}
+
+// labelSuffix renders labels canonically as {k="v",...} with Prometheus
+// value escaping; empty string for an empty label set.
+func labelSuffix(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.K)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.V))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue applies Prometheus text-format label escaping:
+// backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// Instrument kinds as reported in Sample.Kind.
+const (
+	KindCounter = "counter"
+	KindGauge   = "gauge"
+	KindHist    = "hist"
+	KindFunc    = "func"
+)
 
 // Sample is one named value of a registry snapshot. Histograms expand
-// into one sample per bucket plus _count and _sum.
+// into one sample per bucket plus _count and _sum. Labels is the
+// canonical {k="v",...} suffix, empty for unlabeled instruments.
 type Sample struct {
-	Name  string
-	Kind  string // "counter", "gauge", "hist", "func"
-	Value int64
+	Name   string
+	Labels string
+	Kind   string // "counter", "gauge", "hist", "func"
+	Value  int64
 }
 
-// Snapshot reads every instrument into a deterministic, name-sorted
-// sample list.
+// sortedSeries returns the registry's series ordered by (name, labels,
+// kind). Caller must hold r.mu.
+func (r *Registry) sortedSeries() []*series {
+	out := make([]*series, 0, len(r.series))
+	for _, s := range r.series {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].key, out[j].key
+		if a.name != b.name {
+			return a.name < b.name
+		}
+		if a.suffix != b.suffix {
+			return a.suffix < b.suffix
+		}
+		return a.kind < b.kind
+	})
+	return out
+}
+
+// Snapshot reads every instrument into a deterministic sample list,
+// sorted by (Name, Labels).
 func (r *Registry) Snapshot() []Sample {
 	if r == nil {
 		return nil
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]Sample, 0, len(r.counters)+len(r.gauges)+len(r.funcs)+4*len(r.hists))
-	for name, c := range r.counters {
-		out = append(out, Sample{Name: name, Kind: "counter", Value: c.Value()})
-	}
-	for name, g := range r.gauges {
-		out = append(out, Sample{Name: name, Kind: "gauge", Value: g.Value()})
-	}
-	for name, fn := range r.funcs {
-		out = append(out, Sample{Name: name, Kind: "func", Value: fn()})
-	}
-	for name, h := range r.hists {
-		out = append(out, Sample{Name: name + "_count", Kind: "hist", Value: h.Count()})
-		out = append(out, Sample{Name: name + "_sum", Kind: "hist", Value: h.Sum()})
-		for i, b := range h.bounds {
-			out = append(out, Sample{
-				Name: name + "_le_" + strconv.FormatInt(b, 10), Kind: "hist", Value: h.BucketCount(i),
-			})
+	out := make([]Sample, 0, len(r.series)+4*len(r.series)/2)
+	for _, s := range r.sortedSeries() {
+		switch s.key.kind {
+		case KindCounter:
+			out = append(out, Sample{Name: s.key.name, Labels: s.key.suffix, Kind: KindCounter, Value: s.c.Value()})
+		case KindGauge:
+			out = append(out, Sample{Name: s.key.name, Labels: s.key.suffix, Kind: KindGauge, Value: s.g.Value()})
+		case KindFunc:
+			out = append(out, Sample{Name: s.key.name, Labels: s.key.suffix, Kind: KindFunc, Value: s.fn()})
+		case KindHist:
+			h, lb := s.h, s.key.suffix
+			out = append(out, Sample{Name: s.key.name + "_count", Labels: lb, Kind: KindHist, Value: h.Count()})
+			out = append(out, Sample{Name: s.key.name + "_sum", Labels: lb, Kind: KindHist, Value: h.Sum()})
+			for i, b := range h.bounds {
+				out = append(out, Sample{
+					Name: s.key.name + "_le_" + strconv.FormatInt(b, 10), Labels: lb, Kind: KindHist, Value: h.BucketCount(i),
+				})
+			}
+			out = append(out, Sample{Name: s.key.name + "_le_inf", Labels: lb, Kind: KindHist, Value: h.BucketCount(len(h.bounds))})
 		}
-		out = append(out, Sample{Name: name + "_le_inf", Kind: "hist", Value: h.BucketCount(len(h.bounds))})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
 	return out
 }
 
 // RenderText formats the snapshot as an aligned two-column table, one
-// instrument per line, name-sorted.
+// series per line, sorted by (name, labels). It shares the Snapshot
+// path with the Prometheus encoder, so the file dump and the HTTP
+// exposition cannot drift.
 func (r *Registry) RenderText() string {
 	samples := r.Snapshot()
 	width := 0
 	for _, s := range samples {
-		if len(s.Name) > width {
-			width = len(s.Name)
+		if n := len(s.Name) + len(s.Labels); n > width {
+			width = n
 		}
 	}
 	var b strings.Builder
 	for _, s := range samples {
-		fmt.Fprintf(&b, "%-*s  %d\n", width, s.Name, s.Value)
+		fmt.Fprintf(&b, "%-*s  %d\n", width, s.Name+s.Labels, s.Value)
 	}
 	return b.String()
 }

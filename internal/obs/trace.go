@@ -166,6 +166,27 @@ func (t *Tracer) Spans() []Span {
 	return out
 }
 
+// Drain returns the retained spans oldest-first and empties the ring,
+// so a long-running process can ship its trace window incrementally
+// (the /trace?drain=1 endpoint). The cumulative Dropped count is kept.
+func (t *Tracer) Drain() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Span, 0, len(t.ring))
+	if len(t.ring) == t.cap {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	t.ring = t.ring[:0]
+	t.next = 0
+	return out
+}
+
 // jsonlSpan fixes the JSONL field set and order. Wall-clock fields are
 // deliberately absent: JSONL is the deterministic export, byte-identical
 // across runs of a seeded simulation, and golden fixtures pin it.
@@ -180,7 +201,13 @@ type jsonlSpan struct {
 
 // WriteJSONL writes one JSON object per retained span, oldest first.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
-	for _, s := range t.Spans() {
+	return WriteSpansJSONL(w, t.Spans())
+}
+
+// WriteSpansJSONL writes the given spans in the same deterministic
+// JSONL shape as Tracer.WriteJSONL (used with Tracer.Drain).
+func WriteSpansJSONL(w io.Writer, spans []Span) error {
+	for _, s := range spans {
 		line, err := json.Marshal(jsonlSpan{
 			Cat: s.Cat, Track: s.Track, Name: s.Name,
 			VStart: s.VStart, VEnd: s.VEnd, Attrs: s.Attrs,

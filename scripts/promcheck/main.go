@@ -1,0 +1,30 @@
+// Command promcheck validates a Prometheus text-exposition document
+// (version 0.0.4) read from stdin, using the same parser the repo's
+// tests pin against the /metrics encoder. CI pipes a live `curl
+// /metrics` through it so a malformed exposition fails the build.
+//
+//	curl -s localhost:9090/metrics | go run ./scripts/promcheck
+//
+// Exits 0 and prints family/series counts on success, 1 on any
+// syntax, type or contiguity violation.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"clusterbft/internal/obs"
+)
+
+func main() {
+	st, err := obs.ParseExposition(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "promcheck:", err)
+		os.Exit(1)
+	}
+	if st.Series == 0 {
+		fmt.Fprintln(os.Stderr, "promcheck: exposition contains no series")
+		os.Exit(1)
+	}
+	fmt.Printf("promcheck: ok (%d families, %d series)\n", st.Families, st.Series)
+}
