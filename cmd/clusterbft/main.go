@@ -63,6 +63,7 @@ func run() error {
 	d := flag.Int("d", 0, "digest granularity: records per digest (0: per stream)")
 	finalOnly := flag.Bool("final-only", false, "verify final outputs only (the P baseline)")
 	policyName := flag.String("verify-policy", "full", "verification policy: full, quiz, deferred or auto")
+	checkpoint := flag.Bool("checkpoint", false, "persist verified interior outputs as checkpoints so retries re-execute only the DAG suffix, and arm quantile straggler re-launch")
 	show := flag.Int("show", 20, "output records to print per store")
 	explain := flag.Bool("explain", false, "print the replication structure after the run")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline here (a .jsonl twin is written next to it)")
@@ -113,8 +114,13 @@ func run() error {
 		return err
 	}
 	cfg.Storage = storage
+	cfg.Checkpoint = *checkpoint
 	susp := core.NewSuspicionTable(cfg.SuspicionThreshold)
 	eng := mapred.NewEngine(fs, cl, core.NewOverlapScheduler(susp), mapred.DefaultCostModel())
+	if *checkpoint {
+		eng.Speculation = true
+		eng.SpecQuantile = 0.95
+	}
 	ctrl := core.NewController(eng, cfg, susp, nil)
 
 	var reg *obs.Registry

@@ -37,6 +37,7 @@ func main() {
 	scaleName := flag.String("scale", "small", "workload scale: small or paper")
 	combine := flag.String("combine", "on", "map-side combiners: on or off (results are identical either way; latencies differ)")
 	policyName := flag.String("verify-policy", "", "verification policy for every figure's controllers: full, quiz, deferred or auto (default: full)")
+	checkpoint := flag.Bool("checkpoint", false, "enable checkpoint-granular recovery and quantile straggler re-launch in every controller the experiments build")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline here (a .jsonl twin is written next to it)")
 	metrics := flag.Bool("metrics", false, "print the accumulated metrics registry after the experiments")
 	httpAddr := flag.String("http", "", "serve live introspection (/metrics, /healthz, /jobs, /trace, pprof) on this address, e.g. :8080")
@@ -119,6 +120,7 @@ func main() {
 		os.Exit(2)
 	}
 	sc.VerifyPolicy = policy
+	sc.Checkpoint = *checkpoint
 	sc.Storage, err = storageFlags()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

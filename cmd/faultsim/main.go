@@ -66,6 +66,7 @@ func main() {
 	chaosRun := flag.Bool("chaos", false, "run one seeded fault-injection schedule end-to-end (uses -seed)")
 	campaign := flag.Int("campaign", 0, "run N seeded fault-injection schedules with invariant checks (uses -seed as base)")
 	policyName := flag.String("verify-policy", "full", "chaos-mode verification policy: full, quiz, deferred or auto")
+	checkpoint := flag.Bool("checkpoint", false, "chaos mode: enable checkpoint-granular recovery and quantile straggler re-launch in every schedule")
 	httpAddr := flag.String("http", "", "chaos mode: serve live introspection (/metrics, /healthz, /jobs, /trace, pprof) on this address, e.g. :8080")
 	storageFlags := dfs.Flags(flag.CommandLine)
 	flag.Parse()
@@ -86,6 +87,11 @@ func main() {
 		cfg.Schedules = *campaign
 		cfg.Core.VerifyPolicy = policy
 		cfg.Core.Storage = storage
+		cfg.Core.Checkpoint = *checkpoint
+		if *checkpoint {
+			cfg.Speculation = true
+			cfg.SpecQuantile = 0.95
+		}
 		if policy != core.PolicyFull {
 			cfg.Core.QuizFraction = 1
 		}

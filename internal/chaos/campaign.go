@@ -30,6 +30,12 @@ type CampaignConfig struct {
 	// NetOps, when > 0, additionally runs that many operations through a
 	// BFT replica group under the schedule's network perturbations.
 	NetOps int
+	// Speculation enables the engine's backup-task machinery for every
+	// run; SpecQuantile additionally arms the cross-replica quantile
+	// trigger. The checkpoint campaign leg sets both: checkpoint-granular
+	// recovery and straggler re-launch ship together.
+	Speculation  bool
+	SpecQuantile float64
 	// Observe, when set, is called with every freshly built engine (the
 	// baseline's and each schedule's) before the run starts, so a caller
 	// can attach metrics, tracing, or a jobs board to a live campaign.
@@ -104,6 +110,10 @@ type ScheduleResult struct {
 	Mangled    int
 	NetAgreed  int
 	NetRan     bool
+	// CkptSaves/CkptHits count checkpoint persists and launch-time skips
+	// (always zero unless the campaign runs with Core.Checkpoint).
+	CkptSaves  int64
+	CkptHits   int64
 	Violations []string
 }
 
@@ -143,8 +153,12 @@ func (r *Report) Render() string {
 		if sr.NetRan {
 			net = fmt.Sprintf("%d/agreed", sr.NetAgreed)
 		}
-		fmt.Fprintf(&b, "%-90s | %s attempts=%d end=%dus recov=%s mangled=%d net=%s\n",
-			sr.Desc, outcome, sr.Attempts, sr.EndUs, renderCounts(sr.Recoveries), sr.Mangled, net)
+		ckpt := ""
+		if sr.CkptSaves > 0 || sr.CkptHits > 0 {
+			ckpt = fmt.Sprintf(" ckpt=%d/%dhit", sr.CkptSaves, sr.CkptHits)
+		}
+		fmt.Fprintf(&b, "%-90s | %s attempts=%d end=%dus recov=%s mangled=%d net=%s%s\n",
+			sr.Desc, outcome, sr.Attempts, sr.EndUs, renderCounts(sr.Recoveries), sr.Mangled, net, ckpt)
 		for _, v := range sr.Violations {
 			fmt.Fprintf(&b, "  VIOLATION: %s\n", v)
 		}
@@ -244,6 +258,10 @@ func newRun(cfg CampaignConfig) *chaosRun {
 	cl := cluster.New(cfg.Nodes, cfg.Slots)
 	susp := core.NewSuspicionTable(cfg.Core.SuspicionThreshold)
 	eng := mapred.NewEngine(fs, cl, core.NewOverlapScheduler(susp), mapred.DefaultCostModel())
+	eng.Speculation = cfg.Speculation
+	if cfg.SpecQuantile > 0 {
+		eng.SpecQuantile = cfg.SpecQuantile
+	}
 	if cfg.Observe != nil {
 		cfg.Observe(eng)
 	}
@@ -273,9 +291,23 @@ func runOne(cfg CampaignConfig, sched *Schedule, baseline map[string][]string) S
 		sr.Attempts += st.Attempts
 	}
 	sr.Mangled = len(in.MangledReplicas())
+	ckpt := h.ctrl.CheckpointStats()
+	sr.CkptSaves, sr.CkptHits = ckpt.Saves, ckpt.Hits
 
 	bad := func(format string, args ...any) {
 		sr.Violations = append(sr.Violations, fmt.Sprintf(format, args...))
+	}
+
+	// I7: checkpoint-granular recovery stays inside the protocol — a skip
+	// can only consume a previously persisted f+1-agreed output, and the
+	// off-configuration must never write or consume any. (Byte-identical
+	// verified outputs under checkpointing is I3, which runs unchanged on
+	// the checkpoint campaign leg.)
+	if ckpt.Hits > 0 && ckpt.Saves == 0 {
+		bad("checkpoint hits=%d with no saves", ckpt.Hits)
+	}
+	if !cfg.Core.Checkpoint && (ckpt.Saves > 0 || ckpt.Hits > 0) {
+		bad("checkpointing disabled but saves=%d hits=%d", ckpt.Saves, ckpt.Hits)
 	}
 
 	// I1: terminal state — verified everywhere, or an explicit failure.

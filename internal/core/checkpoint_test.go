@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"clusterbft/internal/digest"
+	"clusterbft/internal/mapred"
+)
+
+// TestCheckpointCleanRunSavesAndTearsDown: with checkpointing on, a
+// fault-free run persists each interior job's verified output (one save
+// per in-cluster dependency edge target), consumes none of them (no
+// retries), produces byte-identical outputs to a checkpoint-off run,
+// and leaves no registry entries or ckpt/ files behind at teardown.
+func TestCheckpointCleanRunSavesAndTearsDown(t *testing.T) {
+	run := func(checkpoint bool) (*harness, []string, CheckpointStats) {
+		cfg := DefaultConfig()
+		cfg.Checkpoint = checkpoint
+		// One verification point at the STORE: both MR jobs share a
+		// cluster, making the first an interior (checkpointable) job.
+		cfg.ForcePointAliases = []string{"counts"}
+		h := newHarness(t, 8, 2, cfg)
+		res, err := h.ctrl.Run(weatherScript)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Verified {
+			t.Fatal("clean run must verify")
+		}
+		return h, h.outputLines(t, res, "out/counts"), h.ctrl.CheckpointStats()
+	}
+	hOn, withCkpt, stats := run(true)
+	_, without, offStats := run(false)
+	if stats.Saves == 0 || stats.BytesWritten == 0 {
+		t.Errorf("no interior job checkpointed: %+v", stats)
+	}
+	if stats.Hits != 0 || stats.BytesReclaimed != 0 {
+		t.Errorf("clean run consumed a checkpoint: %+v", stats)
+	}
+	if offStats != (CheckpointStats{}) {
+		t.Errorf("checkpoint-off run touched the registry: %+v", offStats)
+	}
+	if len(withCkpt) != len(without) {
+		t.Fatalf("output sizes differ: %d vs %d", len(withCkpt), len(without))
+	}
+	for i := range without {
+		if withCkpt[i] != without[i] {
+			t.Fatalf("line %d differs: %q vs %q", i, withCkpt[i], without[i])
+		}
+	}
+	// Teardown dropped every entry and deleted the persisted files.
+	for cid, reg := range hOn.ctrl.ckpts {
+		t.Errorf("cluster %d retains %d checkpoint entries after teardown", cid, len(reg))
+	}
+}
+
+// TestCheckpointSourceSignature: a checkpoint is only valid for an
+// attempt consuming exactly the upstream (sid, replica) pairs recorded
+// at save time. A re-verified upstream (same sid, different winner), a
+// restarted upstream (new sid), or a changed upstream set all
+// invalidate it.
+func TestCheckpointSourceSignature(t *testing.T) {
+	c := &Controller{
+		Cfg:       Config{Checkpoint: true},
+		ckpts:     map[int]map[string]*ckptEntry{},
+		templates: map[string]*mapred.JobSpec{"j01": {ID: "j01"}},
+	}
+	cs := &clusterState{
+		id:       2,
+		policy:   PolicyFull,
+		hasInDep: map[string]bool{"j01": true},
+		sources: map[int]sourceRef{
+			0: {sid: "run1-c0-a0", replica: 1},
+			1: {sid: "run1-c1-a1", replica: 0},
+		},
+	}
+	entry := func() *ckptEntry {
+		return &ckptEntry{
+			sum:  digest.Sum{1},
+			path: "ckpt/run1/c2/j01",
+			srcs: map[int]ckptSrc{
+				0: {sid: "run1-c0-a0", replica: 1},
+				1: {sid: "run1-c1-a1", replica: 0},
+			},
+		}
+	}
+
+	c.ckpts[cs.id] = map[string]*ckptEntry{"j01": entry()}
+	if c.ckptValid(cs, "j01") == nil {
+		t.Fatal("exact source match rejected")
+	}
+
+	// Different winner replica of the same upstream attempt: the bytes
+	// this attempt reads are another replica's output tree.
+	e := entry()
+	e.srcs[0] = ckptSrc{sid: "run1-c0-a0", replica: 2}
+	c.ckpts[cs.id]["j01"] = e
+	if c.ckptValid(cs, "j01") != nil {
+		t.Error("winner-replica change accepted")
+	}
+
+	// Restarted upstream: new attempt sid.
+	e = entry()
+	e.srcs[1] = ckptSrc{sid: "run1-c1-a2", replica: 0}
+	c.ckpts[cs.id]["j01"] = e
+	if c.ckptValid(cs, "j01") != nil {
+		t.Error("upstream sid change accepted")
+	}
+
+	// Upstream set shrank or grew between save and relaunch.
+	e = entry()
+	delete(e.srcs, 1)
+	c.ckpts[cs.id]["j01"] = e
+	if c.ckptValid(cs, "j01") != nil {
+		t.Error("missing upstream accepted")
+	}
+	e = entry()
+	e.srcs[3] = ckptSrc{sid: "run1-c3-a0", replica: 0}
+	c.ckpts[cs.id]["j01"] = e
+	if c.ckptValid(cs, "j01") != nil {
+		t.Error("extra upstream accepted")
+	}
+
+	// No entry at all.
+	delete(c.ckpts[cs.id], "j01")
+	if c.ckptValid(cs, "j01") != nil {
+		t.Error("missing entry accepted")
+	}
+}
+
+// TestCheckpointEligibility: only interior (in-cluster-depended-upon),
+// non-Final jobs of a full-r cluster are checkpoint-eligible, and only
+// when checkpointing is configured on.
+func TestCheckpointEligibility(t *testing.T) {
+	c := &Controller{
+		Cfg: Config{Checkpoint: true},
+		templates: map[string]*mapred.JobSpec{
+			"j00": {ID: "j00", Final: true},
+			"j01": {ID: "j01"},
+			"j02": {ID: "j02"},
+		},
+	}
+	cs := &clusterState{
+		id:       0,
+		policy:   PolicyFull,
+		hasInDep: map[string]bool{"j01": true, "j00": true},
+	}
+	if !c.ckptEligible(cs, "j01") {
+		t.Error("interior non-final job should be eligible")
+	}
+	if c.ckptEligible(cs, "j02") {
+		t.Error("boundary job (no in-cluster dependent) must not be eligible")
+	}
+	if c.ckptEligible(cs, "j00") {
+		t.Error("final job must not be eligible even with an in-cluster dependent")
+	}
+	cs.policy = PolicyQuiz
+	if c.ckptEligible(cs, "j01") {
+		t.Error("quiz policy (r=1) can never reach f+1 agreement; must not be eligible")
+	}
+	cs.policy = PolicyFull
+	c.Cfg.Checkpoint = false
+	if c.ckptEligible(cs, "j01") {
+		t.Error("checkpointing off must disable eligibility")
+	}
+}

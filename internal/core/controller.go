@@ -73,6 +73,12 @@ type Config struct {
 	// mode, the experiments rig) read it from here; the controller never
 	// builds an FS.
 	Storage dfs.Options
+	// Checkpoint persists f+1-agreed interior job outputs of full-r
+	// sub-graphs to durable ckpt/ paths, so a later attempt of the same
+	// sub-graph re-executes only the DAG suffix downstream of the last
+	// verified point (see checkpoint.go). Off by default; off is
+	// byte-identical to historical behavior.
+	Checkpoint bool
 }
 
 // DefaultConfig mirrors the paper's common setup: f=1, full BFT
@@ -143,6 +149,10 @@ type clusterState struct {
 	jobs     []*mapred.JobSpec // templates, topological
 	upstream []int
 	terminal bool
+	// hasInDep marks template IDs some other job of the SAME cluster
+	// depends on; only those are checkpoint-eligible (boundary jobs must
+	// always re-execute so a recovery suffix is never empty).
+	hasInDep map[string]bool
 
 	attempt     int
 	totalTries  int
@@ -158,6 +168,10 @@ type clusterState struct {
 	winnerFP    digest.Sum
 	sources     map[int]sourceRef
 	replicas    []*repState
+	// launchJobs is the template subset the current attempt actually
+	// submitted (all of cs.jobs unless checkpoints covered a prefix);
+	// repState.jobIDs, onJobDone counting and quiz sampling index it.
+	launchJobs []*mapred.JobSpec
 
 	// policy is the verification policy resolved at first launch (see
 	// decidePolicy); escalation rewrites it to PolicyFull.
@@ -197,6 +211,18 @@ type Controller struct {
 	runSeq  int
 	reports int64
 	audit   *analyze.AuditTrail
+
+	// checkpoint registry: cluster id -> template job ID -> entry.
+	// Run-scoped (reset in initRun); entries survive across attempts of
+	// one run, which is the whole point.
+	ckpts     map[int]map[string]*ckptEntry
+	ckptStats CheckpointStats
+	// checkpoint counters, registered only when Cfg.Checkpoint is set so
+	// the /metrics surface of legacy configs stays byte-identical.
+	obsCkptSaves          *obs.Counter
+	obsCkptHits           *obs.Counter
+	obsCkptBytesWritten   *obs.Counter
+	obsCkptBytesReclaimed *obs.Counter
 
 	// run-scoped state
 	clusterOf  map[string]int // template job ID -> cluster
@@ -238,6 +264,14 @@ func NewController(eng *mapred.Engine, cfg Config, susp *SuspicionTable, fa *Fau
 	eng.DigestChunk = cfg.DigestChunk
 	eng.DigestSink = c.onDigest
 	eng.OnJobDone = c.onJobDone
+	if cfg.Checkpoint {
+		if reg := eng.Registry(); reg != nil {
+			c.obsCkptSaves = reg.Counter("core.checkpoint.saves")
+			c.obsCkptHits = reg.Counter("core.checkpoint.hits")
+			c.obsCkptBytesWritten = reg.Counter("core.checkpoint.bytes_written")
+			c.obsCkptBytesReclaimed = reg.Counter("core.checkpoint.bytes_reclaimed")
+		}
+	}
 	return c
 }
 
@@ -443,9 +477,16 @@ func (c *Controller) initRun(jobs []*mapred.JobSpec, points []int) {
 				if !contains(c.clusters[jc].upstream, dc) {
 					c.clusters[jc].upstream = append(c.clusters[jc].upstream, dc)
 				}
+			} else {
+				cs := c.clusters[jc]
+				if cs.hasInDep == nil {
+					cs.hasInDep = make(map[string]bool)
+				}
+				cs.hasInDep[d] = true
 			}
 		}
 	}
+	c.ckpts = make(map[int]map[string]*ckptEntry)
 	c.jobRef = make(map[string][2]int)
 	c.sidIndex = make(map[string]*clusterState)
 	c.attempts = 0
@@ -542,6 +583,25 @@ func (c *Controller) tryLaunch(cs *clusterState) {
 			}
 		}
 	}
+	// Checkpoint-granular recovery: compute the suffix this attempt must
+	// actually execute. skip maps template IDs whose f+1-agreed output an
+	// earlier attempt persisted (and whose source signature still
+	// matches); their consumers read the checkpoint file instead.
+	skip, run := c.coveredTemplates(cs)
+	cs.launchJobs = cs.jobs
+	if skip != nil {
+		cs.launchJobs = make([]*mapred.JobSpec, 0, len(run))
+		for _, tmpl := range cs.jobs { // keep topological template order
+			if run[tmpl.ID] {
+				cs.launchJobs = append(cs.launchJobs, tmpl)
+			}
+		}
+		for _, tmpl := range cs.jobs {
+			if e := skip[tmpl.ID]; e != nil {
+				cs.ckptHit(c, e)
+			}
+		}
+	}
 	cs.replicas = make([]*repState, cs.r)
 	for rep := 0; rep < cs.r; rep++ {
 		rs := &repState{idx: rep, nodes: make(NodeSet)}
@@ -552,8 +612,8 @@ func (c *Controller) tryLaunch(cs *clusterState) {
 		// relaunch must never Append onto a dead attempt's partial records
 		// even if a prefix were ever reused.
 		c.Eng.FS.DeleteTree(rs.prefix)
-		for _, tmpl := range cs.jobs {
-			spec := c.rewriteJob(cs, rs, tmpl)
+		for _, tmpl := range cs.launchJobs {
+			spec := c.rewriteJob(cs, rs, tmpl, skip)
 			rs.jobIDs = append(rs.jobIDs, spec.ID)
 			c.jobRef[spec.ID] = [2]int{cs.id, rep}
 			if _, err := c.Eng.Submit(spec); err != nil {
@@ -564,6 +624,15 @@ func (c *Controller) tryLaunch(cs *clusterState) {
 	}
 	c.notify("launch", cs)
 	c.armTimeout(cs)
+}
+
+// ckptHit accounts one checkpoint-covered job at launch: the skipping
+// attempt avoids recomputing its output on every one of its replicas.
+func (cs *clusterState) ckptHit(c *Controller, e *ckptEntry) {
+	c.ckptStats.Hits++
+	c.ckptStats.BytesReclaimed += e.bytes * int64(cs.r)
+	c.obsCkptHits.Inc()
+	c.obsCkptBytesReclaimed.Add(e.bytes * int64(cs.r))
 }
 
 // armTimeout arms the verifier timer for the current attempt. The timer
@@ -579,7 +648,7 @@ func (c *Controller) armTimeout(cs *clusterState) {
 // rewriteJob clones a template for one replica of one attempt, rewriting
 // paths, IDs and dependencies into the replica's namespace; inputs
 // produced by upstream sub-graphs point at the chosen source replica.
-func (c *Controller) rewriteJob(cs *clusterState, rs *repState, tmpl *mapred.JobSpec) *mapred.JobSpec {
+func (c *Controller) rewriteJob(cs *clusterState, rs *repState, tmpl *mapred.JobSpec, skip map[string]*ckptEntry) *mapred.JobSpec {
 	spec := tmpl.Clone()
 	spec.ID = rs.prefix + "/" + tmpl.ID
 	spec.SID = cs.sid
@@ -589,13 +658,15 @@ func (c *Controller) rewriteJob(cs *clusterState, rs *repState, tmpl *mapred.Job
 	// sums quizzes are checked against, plus storage-boundary in/out sums
 	// that pin what actually crossed the untrusted DFS.
 	spec.Audit = cs.policy != PolicyFull
+	spec.Ckpt = c.ckptEligible(cs, tmpl.ID)
 	var deps []string
 	for _, d := range tmpl.Deps {
-		if c.clusterOf[d] == cs.id {
+		if c.clusterOf[d] == cs.id && skip[d] == nil {
 			deps = append(deps, rs.prefix+"/"+d)
 		}
 		// Cross-cluster deps are satisfied by data availability: the
-		// source replica completed before this attempt launched.
+		// source replica completed before this attempt launched. A
+		// checkpoint-skipped producer's data is likewise already durable.
 	}
 	spec.Deps = deps
 	for i := range spec.Inputs {
@@ -604,10 +675,17 @@ func (c *Controller) rewriteJob(cs *clusterState, rs *repState, tmpl *mapred.Job
 		if !ok {
 			continue // raw script input from trusted storage
 		}
-		spec.Inputs[i].AuditIn = spec.Audit
 		if c.clusterOf[prod] == cs.id {
+			if e := skip[prod]; e != nil {
+				// Checkpoint-covered producer: read the f+1-agreed bytes
+				// from the trusted ckpt/ path, like a script input.
+				spec.Inputs[i].Path = e.path
+				continue
+			}
+			spec.Inputs[i].AuditIn = spec.Audit
 			spec.Inputs[i].Path = rs.prefix + "/" + path
 		} else {
+			spec.Inputs[i].AuditIn = spec.Audit
 			src := cs.sources[c.clusterOf[prod]]
 			spec.Inputs[i].Path = src.prefix + "/" + path
 		}
@@ -674,6 +752,9 @@ func (c *Controller) onDigest(r digest.Report) {
 	}
 	c.reports++
 	c.matcher.Add(r)
+	if r.Key.Point == mapred.CkptPoint {
+		c.maybeCheckpoint(cs, r.Key)
+	}
 	for _, rep := range c.matcher.KeyDeviants(cs.sid) {
 		if rep < len(cs.replicas) {
 			c.markFaulty(cs, cs.replicas[rep])
@@ -696,7 +777,7 @@ func (c *Controller) onJobDone(js *mapred.JobState) {
 		rs.nodes[n] = true
 	}
 	rs.done++
-	if rs.done < len(cs.jobs) {
+	if rs.done < len(rs.jobIDs) {
 		return
 	}
 	rs.completed = true
@@ -893,13 +974,13 @@ func (c *Controller) startQuiz(cs *clusterState) {
 	sid := cs.sid
 	type pick struct{ jobID, tid string }
 	var picks []pick
-	for ji := range cs.jobs {
+	for ji := range cs.launchJobs {
 		js := c.Eng.Job(rs.jobIDs[ji])
 		if js == nil || !js.Done {
 			continue
 		}
 		for _, tid := range js.TaskIDs() {
-			if quizPick(sid, cs.jobs[ji].ID, tid, c.Cfg.QuizFraction) {
+			if quizPick(sid, cs.launchJobs[ji].ID, tid, c.Cfg.QuizFraction) {
 				picks = append(picks, pick{rs.jobIDs[ji], tid})
 			}
 		}
@@ -996,7 +1077,13 @@ func (c *Controller) teardownRun() {
 			c.forgetSID(sid)
 		}
 		cs.staleSids = nil
+		c.dropCkpts(cs)
 	}
+	// The forgetSID sweep above folded every remaining sid; with the run
+	// drained no late ledger charge can arrive, so the tombstones that
+	// route such charges are dead weight — drop them to keep ledger map
+	// sizes at baseline across sequential runs.
+	c.Eng.Ledger.DropFolds()
 }
 
 // sourceMatchesWinner reports whether a consumed source replica produced
@@ -1154,6 +1241,11 @@ func (c *Controller) restart(root *clusterState) {
 		for _, rs := range cs.replicas {
 			c.killReplica(rs)
 		}
+		// The cascade exists because upstream data lineage is suspect;
+		// checkpoints derived from it must not shortcut the re-run. (The
+		// per-entry source-signature check already rejects them — fresh
+		// attempts get fresh sids — but dropping reclaims the files.)
+		c.dropCkpts(cs)
 		wasLaunched := cs.launched
 		cs.verified = false
 		cs.launched = false
@@ -1180,6 +1272,7 @@ func (c *Controller) restart(root *clusterState) {
 // worklist, and unlaunched consumers are fenced by sourcesReady.
 func (c *Controller) failCluster(cs *clusterState) {
 	cs.failed = true
+	c.dropCkpts(cs)
 	c.Eng.Ledger.Supersede(cs.sid)
 	c.Eng.Board.SIDState(cs.sid, "failed", -1)
 	c.notify("fail", cs)

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
+	"clusterbft/internal/cluster"
 	"clusterbft/internal/mapred"
 )
 
@@ -135,5 +137,48 @@ func TestCostLedgerAcrossRuns(t *testing.T) {
 	}
 	if b := h.eng.Ledger.Buckets(); b.RecoveryRerunUs == 0 {
 		t.Error("faulty middle run left no recovery_rerun spend")
+	}
+}
+
+// TestCostLedgerNoLeakAcrossRuns: a controller reused for many
+// sequential scripts must not accrete ledger state. Every run folds its
+// sids at teardown, and teardownRun drops the fold tombstones once the
+// simulation has drained — so live and folded map sizes must return to
+// zero after every run, including runs that exercised the retry path
+// (superseded attempt groups are where tombstones come from). The
+// buckets-sum invariant (I6) must also keep holding as charges
+// accumulate across runs.
+func TestCostLedgerNoLeakAcrossRuns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.R = 2
+	cfg.TimeoutUs = 60_000_000
+	h := newHarness(t, 6, 2, cfg)
+	// Omission nodes force verifier-timeout retries, producing superseded
+	// sids whose late charges need tombstones.
+	for i, n := range []cluster.NodeID{"node-000", "node-001"} {
+		if err := h.cl.SetAdversary(n, cluster.FaultOmission, 0.9, int64(40+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	retried := false
+	for run := 0; run < 3; run++ {
+		res, err := h.ctrl.Run(weatherScript)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if !res.Verified {
+			t.Fatalf("run %d: not verified", run)
+		}
+		if res.Attempts > res.Clusters {
+			retried = true
+		}
+		live, folded := h.eng.Ledger.Sizes()
+		if live != 0 || folded != 0 {
+			t.Fatalf("run %d: ledger retains live=%d folded=%d sids after teardown", run, live, folded)
+		}
+		checkLedger(t, h, fmt.Sprintf("run %d", run))
+	}
+	if !retried {
+		t.Error("scenario lost its shape: no run exercised the retry path")
 	}
 }

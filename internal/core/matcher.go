@@ -171,6 +171,36 @@ func (m *Matcher) KeyDeviants(sid string) []int {
 	return out
 }
 
+// KeyAgreement resolves one exact key of sid: it returns the sum with
+// at least f+1 replica votes and the ascending list of agreeing
+// replicas. Like KeyDeviants, a key where two sums both reach f+1 is
+// ambiguous (the fault budget was exceeded) and yields ok=false — the
+// checkpoint path must never persist bytes whose agreement evidence is
+// unusable.
+func (m *Matcher) KeyAgreement(sid string, key digest.Key) (digest.Sum, []int, bool) {
+	votes := make(map[digest.Sum][]int)
+	for rep, sums := range m.bySID[sid] {
+		if s, ok := sums[key]; ok {
+			votes[s] = append(votes[s], rep)
+		}
+	}
+	var winSum digest.Sum
+	var winner []int
+	for s, reps := range votes {
+		if len(reps) >= m.f+1 {
+			if winner != nil {
+				return digest.Sum{}, nil, false // ambiguous
+			}
+			winSum, winner = s, reps
+		}
+	}
+	if winner == nil {
+		return digest.Sum{}, nil, false
+	}
+	sort.Ints(winner)
+	return winSum, winner, true
+}
+
 // Forget drops all state for a sub-graph attempt (after verification or
 // abandonment) so long controller runs don't accumulate stale digests.
 func (m *Matcher) Forget(sid string) {

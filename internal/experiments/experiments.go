@@ -43,6 +43,12 @@ type Scale struct {
 	// Observables are identical at any setting; only memory use and
 	// wall-clock change.
 	Storage dfs.Options
+	// Checkpoint enables checkpoint-granular recovery plus quantile
+	// straggler re-launch in every controller the experiments build
+	// (cmd/experiments -checkpoint). Fault-free figures are unaffected
+	// beyond checkpoint-write work; the recovery experiment always
+	// reports both paths regardless of this setting.
+	Checkpoint bool
 }
 
 // Small returns a scale suitable for unit tests (sub-second runs).
@@ -93,6 +99,7 @@ type rig struct {
 	eng            *mapred.Engine
 	disableCombine bool
 	verifyPolicy   core.Policy
+	checkpoint     bool
 }
 
 func newRig(sc Scale, path string, lines []string) *rig {
@@ -103,7 +110,11 @@ func newRig(sc Scale, path string, lines []string) *rig {
 	if Observe != nil {
 		Observe(eng)
 	}
-	return &rig{fs: fs, cl: cl, eng: eng, disableCombine: sc.DisableCombine, verifyPolicy: sc.VerifyPolicy}
+	if sc.Checkpoint {
+		eng.Speculation = true
+		eng.SpecQuantile = 0.95
+	}
+	return &rig{fs: fs, cl: cl, eng: eng, disableCombine: sc.DisableCombine, verifyPolicy: sc.VerifyPolicy, checkpoint: sc.Checkpoint}
 }
 
 // expCostModel puts the experiments in the paper's operating regime:
@@ -128,6 +139,7 @@ func expCostModel() mapred.CostModel {
 // controller builds a fresh controller with an overlap scheduler.
 func (r *rig) controller(cfg core.Config) *core.Controller {
 	cfg.DisableCombine = cfg.DisableCombine || r.disableCombine
+	cfg.Checkpoint = cfg.Checkpoint || r.checkpoint
 	if cfg.VerifyPolicy == 0 {
 		cfg.VerifyPolicy = r.verifyPolicy
 	}

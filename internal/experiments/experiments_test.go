@@ -292,7 +292,32 @@ func TestRecoveryTable(t *testing.T) {
 		t.Errorf("hang 3 nodes: verified=%v retries=%d latency=%d (clean %d)",
 			hang3.Verified, hang3.Recoveries["retry"], hang3.LatencyUs, clean)
 	}
-	if !strings.Contains(res.Render(), "vs clean") {
+	// Checkpoint-granular recovery plus straggler re-launch must cut the
+	// worst omission scenario's latency multiple to at most 2.5x the
+	// clean run (it was 5.63x with whole-sub-graph re-execution).
+	if !hang3.CkptVerified || hang3.CkptViolations > 0 {
+		t.Errorf("hang 3 nodes (ckpt): verified=%v violations=%d", hang3.CkptVerified, hang3.CkptViolations)
+	}
+	if 2*hang3.CkptLatencyUs > 5*clean {
+		t.Errorf("hang 3 nodes (ckpt): latency %dus exceeds 2.5x clean (%dus)", hang3.CkptLatencyUs, clean)
+	}
+	if hang3.CkptLatencyUs >= hang3.LatencyUs {
+		t.Errorf("hang 3 nodes: checkpointed path no faster: %d vs %d us", hang3.CkptLatencyUs, hang3.LatencyUs)
+	}
+	// The timed crash window is the checkpoint-consumption scenario: the
+	// retry after the crash must skip the persisted interior job.
+	crash5 := byName["crash 5 nodes 60s"]
+	if !crash5.Verified || !crash5.CkptVerified || crash5.CkptViolations > 0 {
+		t.Errorf("crash 5 nodes: base verified=%v ckpt verified=%v violations=%d",
+			crash5.Verified, crash5.CkptVerified, crash5.CkptViolations)
+	}
+	if crash5.CkptSaves == 0 || crash5.CkptHits == 0 {
+		t.Errorf("crash 5 nodes: saves=%d hits=%d, want both > 0", crash5.CkptSaves, crash5.CkptHits)
+	}
+	if crash5.CkptLatencyUs > crash5.LatencyUs {
+		t.Errorf("crash 5 nodes: checkpointed recovery slower: %d vs %d us", crash5.CkptLatencyUs, crash5.LatencyUs)
+	}
+	if !strings.Contains(res.Render(), "saves/hits") {
 		t.Error("render header missing")
 	}
 }

@@ -415,3 +415,21 @@ func BenchmarkDataplaneDigestChunked(b *testing.B) {
 	}
 	b.ReportMetric(benchBatch, "records/op")
 }
+
+// BenchmarkDataplaneCheckpointWrite measures persisting one verified
+// interior job's retained output lines under a durable ckpt/ path — the
+// controller's checkpoint-save hot path (delete any stale file, then
+// append the agreed lines). This is the write overhead a fault-free run
+// pays per checkpointed job for checkpoint-granular recovery.
+func BenchmarkDataplaneCheckpointWrite(b *testing.B) {
+	lines := benchEdgeLines()
+	fs := dfs.New()
+	defer fs.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fs.Delete("ckpt/run1/c0/j01")
+		fs.Append("ckpt/run1/c0/j01", lines...)
+	}
+	b.ReportMetric(benchBatch, "records/op")
+}

@@ -116,7 +116,7 @@ type JobState struct {
 	running    map[string][]*runningTask // task ID -> active attempts
 	committed  map[string]bool           // task IDs whose result committed
 	maxDur     map[TaskKind]int64        // longest committed duration per kind
-	speculated map[string]bool           // task IDs with a backup launched
+	speculated map[string]int            // backups spawned per task ID (not yet invalidated by loss)
 
 	hasDependents bool // another submitted job consumes this job's output
 
@@ -141,6 +141,26 @@ type runningTask struct {
 
 // Latency returns the job's virtual makespan; valid once Done.
 func (j *JobState) Latency() int64 { return j.DoneTime - j.SubmitTime }
+
+// ProducedLines returns the job's output lines exactly as its tasks
+// produced them (before any storage write hook), concatenated in sorted
+// part-name order — the stream the AuditIOOutPoint and CkptPoint
+// digests cover. Nil unless the job ran with Audit or Ckpt set.
+func (j *JobState) ProducedLines() []string {
+	if j.auditParts == nil {
+		return nil
+	}
+	parts := make([]string, 0, len(j.auditParts))
+	for p := range j.auditParts {
+		parts = append(parts, p)
+	}
+	sort.Strings(parts)
+	var lines []string
+	for _, p := range parts {
+		lines = append(lines, j.auditParts[p]...)
+	}
+	return lines
+}
 
 // HasDependents reports whether another submitted job consumes this
 // job's output. With the controller's rewriting, dependents are always
@@ -239,6 +259,24 @@ type Engine struct {
 	Speculation    bool
 	SpecLagFactor  float64 // default 2.0
 	SpecIntervalUs int64   // sweep period; default 1s virtual
+	// SpecQuantile, when > 0 with Speculation on, adds a second trigger:
+	// an attempt running longer than SpecLagFactor times the
+	// SpecQuantile bucket bound of committed durations for the same
+	// (base job, task kind) gets a backup. The histogram is keyed by
+	// base job ID, so a healthy replica's commits inform a fully-hung
+	// sibling replica — which the maxDur rule (per-job, needs one
+	// committed task in the same job) never can. 0 (the default) keeps
+	// legacy behavior exactly.
+	SpecQuantile float64
+	// SpecMinSamples gates the quantile trigger until the histogram has
+	// at least this many observations; default 1 — a single committed
+	// sibling is exactly the evidence the legacy maxDur trigger trusts,
+	// and the quantile histogram merely widens it across replicas. The
+	// campaign workload's later jobs run ONE map per replica, so any
+	// higher floor leaves a replica pinned to hanging nodes waiting out
+	// the full verifier timeout: no sibling of its own ever commits, and
+	// the healthy replicas contribute just one observation each.
+	SpecMinSamples int
 
 	jobs       map[string]*JobState
 	jobOrder   []string
@@ -250,6 +288,11 @@ type Engine struct {
 	freeSlots  map[cluster.NodeID]int
 	sidBinding map[cluster.NodeID]map[string]int
 	tickArmed  bool
+
+	// specHist holds committed-duration histograms per (base job ID,
+	// task kind), feeding the SpecQuantile trigger. Cross-replica by
+	// construction: replicas of one cluster share base IDs.
+	specHist map[string]*obs.Histogram
 
 	workers *pool.Pool
 	pending []pendingBody
@@ -298,6 +341,8 @@ func NewEngine(fs *dfs.FS, cl *cluster.Cluster, sched Scheduler, cost CostModel)
 		Ledger:         NewCostLedger(),
 		SpecLagFactor:  2.0,
 		SpecIntervalUs: 1_000_000,
+		SpecMinSamples: 1,
+		specHist:       make(map[string]*obs.Histogram),
 		jobs:           make(map[string]*JobState),
 		byOutput:       make(map[string]*JobState),
 		dead:           make(map[cluster.NodeID]bool),
@@ -370,6 +415,12 @@ func (e *Engine) InstrumentMetrics(reg *obs.Registry) {
 // Now returns the current virtual time in microseconds.
 func (e *Engine) Now() int64 { return e.now }
 
+// Registry returns the metrics registry attached via InstrumentMetrics;
+// nil when metrics are off. Components layered over the engine (the
+// controller's checkpoint counters) register through it so everything
+// lands in one exposition.
+func (e *Engine) Registry() *obs.Registry { return e.obsReg }
+
 // After schedules fn at now+delayUs on the simulation clock.
 func (e *Engine) After(delayUs int64, fn func()) {
 	if delayUs < 0 {
@@ -400,7 +451,7 @@ func (e *Engine) Submit(spec *JobSpec) (*JobState, error) {
 		running:    make(map[string][]*runningTask),
 		committed:  make(map[string]bool),
 		maxDur:     make(map[TaskKind]int64),
-		speculated: make(map[string]bool),
+		speculated: make(map[string]int),
 	}
 	e.jobs[spec.ID] = js
 	e.jobOrder = append(e.jobOrder, spec.ID)
@@ -745,6 +796,15 @@ func (e *Engine) scheduleCommit(p pendingBody, dur int64, commit func()) {
 		} else {
 			js.obsRedDur.Observe(dur)
 		}
+		if e.SpecQuantile > 0 {
+			k := specKey(js.Spec.ID, t.Kind)
+			h := e.specHist[k]
+			if h == nil {
+				h = obs.NewHistogram(obs.DurationBucketsUs)
+				e.specHist[k] = h
+			}
+			h.Observe(dur)
+		}
 		if e.Trace != nil {
 			e.Trace.Emit(obs.Span{
 				Cat: "task", Track: string(rt.node), Name: t.ID(),
@@ -828,12 +888,54 @@ func (e *Engine) specSweep() bool {
 			if len(rts) == 0 {
 				continue
 			}
-			base := js.maxDur[rts[0].task.Kind]
-			if base == 0 || js.speculated[tid] || len(rts) > 1 {
+			if e.SpecQuantile > 0 {
+				// Quantile mode allows capped re-speculation: a backup that
+				// itself lands on a hung node must not pin the task forever.
+				// A task qualifies only when every spawned backup has been
+				// placed (len(rts) counts live placed attempts, speculated
+				// counts spawns — original included in rts makes the queue
+				// empty exactly when len(rts) > speculated) and fewer than
+				// maxQuantileBackups were spawned.
+				if js.speculated[tid] >= maxQuantileBackups || len(rts) <= js.speculated[tid] {
+					continue
+				}
+			} else if js.speculated[tid] > 0 || len(rts) > 1 {
 				continue
 			}
-			if float64(e.now-rts[0].start) > e.SpecLagFactor*float64(base) {
-				js.speculated[tid] = true
+			kind := rts[0].task.Kind
+			// Legacy trigger: the slowest committed sibling of the same
+			// kind in the same job, scaled by the lag factor.
+			threshold := js.maxDur[kind]
+			// Quantile trigger: committed durations for the same base job
+			// across all replicas. A fully-hung replica has maxDur == 0
+			// forever; its healthy siblings' histogram still catches it.
+			if e.SpecQuantile > 0 {
+				h := e.specHist[specKey(js.Spec.ID, kind)]
+				if h.Count() >= int64(e.SpecMinSamples) {
+					if ub, ok := h.Quantile(e.SpecQuantile); ok {
+						if threshold == 0 || ub < threshold {
+							threshold = ub
+						}
+					}
+				}
+			}
+			if threshold == 0 {
+				// No comparator yet: only an engine event (a commit) can
+				// change that, and commits re-arm the sweep.
+				continue
+			}
+			// The youngest live attempt governs the trigger: with multiple
+			// attempts (quantile re-speculation), spawning again is only
+			// justified once even the freshest backup has lagged past the
+			// threshold. With a single attempt this is the legacy check.
+			newest := rts[0].start
+			for _, rt := range rts[1:] {
+				if rt.start > newest {
+					newest = rt.start
+				}
+			}
+			if float64(e.now-newest) > e.SpecLagFactor*float64(threshold) {
+				js.speculated[tid]++
 				e.Metrics.SpeculativeTasks++
 				e.ready = append(e.ready, rts[0].task)
 				e.armTick()
@@ -843,6 +945,18 @@ func (e *Engine) specSweep() bool {
 		}
 	}
 	return again
+}
+
+// maxQuantileBackups caps backups per task under quantile speculation.
+// Two backups drive the probability that every attempt of a task sits
+// on a pathological node to (bad placement)^3 while bounding the slot
+// pressure hung attempts can exert.
+const maxQuantileBackups = 2
+
+// specKey is the specHist map key: base job ID (stable across replicas
+// and attempts) plus task kind.
+func specKey(jobID string, kind TaskKind) string {
+	return baseID(jobID) + "|" + kind.String()
 }
 
 // mapBody returns the map task's data work as a closure safe to run off
@@ -982,11 +1096,11 @@ func (e *Engine) reduceBody(t *Task, df digestFactory, emit func(digest.Report))
 }
 
 // writeOutput persists task output and accounts the HDFS write. Under
-// Spec.Audit the produced lines are retained per part (before the
-// storage layer's write hook can transform them) for the job's
-// as-produced output digest.
+// Spec.Audit or Spec.Ckpt the produced lines are retained per part
+// (before the storage layer's write hook can transform them) for the
+// job's as-produced output digest and checkpoint capture.
 func (e *Engine) writeOutput(js *JobState, part string, lines []string) {
-	if js.Spec.Audit {
+	if js.Spec.Audit || js.Spec.Ckpt {
 		if js.auditParts == nil {
 			js.auditParts = make(map[string][]string)
 		}
@@ -1006,16 +1120,18 @@ func (e *Engine) completeJob(js *JobState) {
 		// part-name order — the order ReadTree serves it to consumers —
 		// so the producer-side digest is directly comparable to any
 		// consumer's AuditIOInPoint digest of the same tree.
-		parts := make([]string, 0, len(js.auditParts))
-		for p := range js.auditParts {
-			parts = append(parts, p)
-		}
-		sort.Strings(parts)
-		var lines []string
-		for _, p := range parts {
-			lines = append(lines, js.auditParts[p]...)
-		}
+		lines := js.ProducedLines()
 		e.DigestSink(auditReport(js.Spec, AuditIOOutPoint, baseID(js.Spec.ID),
+			int64(len(lines)), digest.OfLines(lines)))
+	}
+	if js.Spec.Ckpt && e.DigestSink != nil {
+		// Checkpoint digest over the same as-produced stream: the
+		// controller persists a replica's retained lines only under f+1
+		// agreement on this digest, so checkpoint bytes are exactly the
+		// verified bytes even when a storage write hook mangled the DFS
+		// copy.
+		lines := js.ProducedLines()
+		e.DigestSink(auditReport(js.Spec, CkptPoint, baseID(js.Spec.ID),
 			int64(len(lines)), digest.OfLines(lines)))
 	}
 	if js.Spec.Reduce != nil {
@@ -1136,17 +1252,25 @@ func (e *Engine) CrashNode(id cluster.NodeID) bool {
 			if !lost {
 				continue
 			}
+			// Any loss re-opens speculation for this task: if the crash
+			// took the backup while a hung or slow original survives, the
+			// stale speculated flag would otherwise block every future
+			// sweep from launching a replacement backup.
+			delete(js.speculated, tid)
 			if len(survivors) == 0 && !js.committed[tid] {
 				// No live attempt remains: put the task back on the ready
 				// queue and let speculation treat the rerun as a fresh
 				// original. All attempts of a tid share one Task.
 				delete(js.running, tid)
-				delete(js.speculated, tid)
 				e.ready = append(e.ready, rts[0].task)
 			}
 		}
 	}
 	e.armTick()
+	// Wake the sweep: with the speculated flags cleared above, a
+	// surviving straggler may need a fresh backup, and no commit event
+	// is guaranteed to re-arm it.
+	e.armSpec()
 	return true
 }
 

@@ -105,6 +105,12 @@ const (
 	// AuditIOOutPoint digest convicts the storage boundary (write or
 	// read tampering) without a second replica.
 	AuditIOInPoint = -3
+	// CkptPoint digests a checkpoint-eligible job's output as produced
+	// (same bytes as AuditIOOutPoint but emitted on the full-r path);
+	// Task is "<job>". The controller's checkpoint registry persists a
+	// replica's output only once f+1 replicas agree on this digest, so a
+	// checkpoint can never contain bytes that verification would reject.
+	CkptPoint = -4
 )
 
 // ReduceKind enumerates reduce cores.
@@ -181,6 +187,12 @@ type JobSpec struct {
 	// replicas verified by quiz or deferred policies; full-r replicas
 	// run without it and stay byte-identical to historical behavior.
 	Audit bool
+	// Ckpt enables checkpoint capture: the engine retains the job's
+	// as-produced output lines in memory and emits a CkptPoint digest at
+	// completion, which lets the controller persist an f+1-agreed copy
+	// for suffix-only recovery. Set only for full-r replicas of jobs
+	// with in-cluster dependents when checkpointing is on.
+	Ckpt bool
 }
 
 // Clone deep-copies the spec so per-replica rewrites don't alias.

@@ -298,6 +298,32 @@ func (l *CostLedger) Fold(sid string) {
 	l.mu.Unlock()
 }
 
+// DropFolds clears the folded-sid tombstones. Tombstones exist only to
+// route charges that arrive after ForgetSID — once a run has fully
+// drained no late resolution can fire, so the controller calls this at
+// run teardown to keep the maps at baseline across sequential runs
+// instead of accumulating up to maxFolds entries forever.
+func (l *CostLedger) DropFolds() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	clear(l.folded)
+	l.foldedQ = l.foldedQ[:0]
+	l.mu.Unlock()
+}
+
+// Sizes reports the ledger's live-sid and folded-tombstone map sizes;
+// leak regression tests pin both to baseline after sequential runs.
+func (l *CostLedger) Sizes() (live, folded int) {
+	if l == nil {
+		return 0, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.sids), len(l.folded)
+}
+
 // Buckets returns the attribution of everything resolved so far:
 // settled (folded) spend plus the live sids routed by their current
 // state.

@@ -317,3 +317,144 @@ func TestCommittedTaskLeavesReadyQueue(t *testing.T) {
 		t.Errorf("free slots = %d, want %d", got, eng.Cluster.TotalSlots())
 	}
 }
+
+// pinSched wraps a scheduler and asserts two placement invariants at
+// every pick: the node being offered work has a genuinely free slot,
+// and a speculative backup is never handed to a node already hosting a
+// live attempt of the same task (the straggler's — or hung original's —
+// own node). These are the rules the specSweep re-launch path depends
+// on; a regression here silently turns backups into no-ops.
+type pinSched struct {
+	t     *testing.T
+	e     *Engine
+	inner Scheduler
+}
+
+func (p *pinSched) Pick(node *cluster.Node, cands []*Task) *Task {
+	if p.e.freeSlots[node.ID] <= 0 {
+		p.t.Errorf("scheduler offered work to %s with %d free slots", node.ID, p.e.freeSlots[node.ID])
+	}
+	picked := p.inner.Pick(node, cands)
+	if picked != nil {
+		for _, rt := range picked.Job.running[picked.ID()] {
+			if !rt.dead && rt.node == node.ID {
+				p.t.Errorf("backup of %s placed on %s, which still hosts a live attempt", picked.ID(), node.ID)
+			}
+		}
+	}
+	return picked
+}
+
+func TestBackupRelaunchPlacementPins(t *testing.T) {
+	// Two nodes, one of them hanging every task it touches: the hung
+	// originals pin their slots, so for long stretches the honest node is
+	// the only one with capacity — and each hung task's sole legal backup
+	// target. Every placement decision of the run is audited by pinSched.
+	eng, jobs := specFixture(t, 2, 2, true)
+	eng.Sched = &pinSched{t: t, e: eng, inner: eng.Sched}
+	if err := eng.Cluster.SetAdversary("node-000", cluster.FaultOmission, 1.0, 3); err != nil {
+		t.Fatal(err)
+	}
+	js, err := eng.Submit(jobs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if eng.Metrics.TasksHung == 0 || eng.Metrics.SpeculativeTasks == 0 {
+		t.Fatalf("scenario lost its shape: hung=%d spec=%d",
+			eng.Metrics.TasksHung, eng.Metrics.SpeculativeTasks)
+	}
+	if !js.Done {
+		t.Fatal("backups on the honest node should have rescued the job")
+	}
+	// The hung node's claimed slots stay claimed; accounting never goes
+	// negative and never exceeds capacity.
+	for _, n := range eng.Cluster.Nodes() {
+		if free := eng.freeSlots[n.ID]; free < 0 || free > n.Slots {
+			t.Errorf("node %s free slots = %d of %d", n.ID, free, n.Slots)
+		}
+	}
+}
+
+func TestKillJobDiscardsInFlightBackups(t *testing.T) {
+	// KillJob racing an in-flight speculative re-launch: the controller
+	// kills a replica's jobs (verification completed elsewhere, or the
+	// sub-graph was superseded) while a backup attempt is still running.
+	// Neither the backup nor any other attempt of the killed job may
+	// commit afterwards, and the ledger must charge the torn-down work as
+	// lost — committed charges for the job's sid must not move.
+	eng, jobs := specFixture(t, 6, 2, true)
+	if err := eng.Cluster.SetAdversary("node-001", cluster.FaultOmission, 1.0, 3); err != nil {
+		t.Fatal(err)
+	}
+	spec := jobs[0]
+	spec.SID = "sid-kill"
+	eng.Ledger = NewCostLedger()
+	eng.Ledger.Launch(spec.SID, CostModeFull)
+	js, err := eng.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var killedAt int64
+	var committedAtKill int
+	var committedUsAtKill int64
+	var poll func()
+	poll = func() {
+		if js.Done || killedAt > 0 {
+			return
+		}
+		// Kill the moment a backup attempt is live next to its original.
+		inFlight := false
+		for _, rts := range js.running {
+			live := 0
+			for _, rt := range rts {
+				if !rt.dead {
+					live++
+				}
+			}
+			if live > 1 {
+				inFlight = true
+				break
+			}
+		}
+		if inFlight {
+			killedAt = eng.Now()
+			committedAtKill = len(js.committed)
+			b, _ := eng.Ledger.SIDBuckets(spec.SID)
+			committedUsAtKill = b.CommittedUs
+			eng.KillJob(spec.ID)
+			return
+		}
+		eng.After(200_000, poll)
+	}
+	eng.After(200_000, poll)
+	eng.Run()
+	if killedAt == 0 {
+		t.Skip("no backup was in flight in this layout")
+	}
+	if js.Done {
+		t.Fatal("killed job reported Done")
+	}
+	if !js.Killed {
+		t.Fatal("job not marked Killed")
+	}
+	if got := len(js.committed); got != committedAtKill {
+		t.Errorf("%d task(s) committed after KillJob (had %d at kill)", got-committedAtKill, committedAtKill)
+	}
+	if len(js.running) != 0 {
+		t.Errorf("%d task(s) still listed running after kill", len(js.running))
+	}
+	b, ok := eng.Ledger.SIDBuckets(spec.SID)
+	if !ok {
+		t.Fatal("sid vanished from ledger")
+	}
+	if b.CommittedUs != committedUsAtKill {
+		t.Errorf("committed charges moved after kill: %d -> %d us", committedUsAtKill, b.CommittedUs)
+	}
+	if got, want := eng.Ledger.TotalUs(), eng.Metrics.CPUTimeUs; got != want {
+		t.Errorf("ledger buckets sum to %dus, engine charged %dus", got, want)
+	}
+	if got := eng.FreeSlotsTotal(); got != eng.Cluster.TotalSlots() {
+		t.Errorf("free slots = %d, want %d", got, eng.Cluster.TotalSlots())
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"clusterbft/internal/dfs"
 	"clusterbft/internal/mapred"
 	"clusterbft/internal/obs"
+	"clusterbft/internal/pig"
 )
 
 const testScript = `
@@ -330,5 +331,49 @@ func TestHealthCallbackAndUnservedEndpoints(t *testing.T) {
 	code, body, _ = get(t, srv.URL()+"/jobs")
 	if code != http.StatusOK || !strings.Contains(body, `"jobs": []`) {
 		t.Errorf("/jobs with nil board = %d %q", code, body)
+	}
+}
+
+// TestStragglersBeforeAnyCommit: a job queried the instant it is
+// submitted — zero committed tasks, zero duration observations — must
+// serialize as an empty report with "stages": [] and "stragglers": [],
+// never null arrays or degenerate NaN/Inf-shaped quantiles computed
+// over an empty window.
+func TestStragglersBeforeAnyCommit(t *testing.T) {
+	r := newRig(t)
+	plan, err := pig.Parse(testScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := mapred.Compile(plan, mapred.CompileOptions{NumReduces: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Submit puts the job on the board; no Run, so nothing ever commits.
+	if _, err := r.eng.Submit(jobs[0]); err != nil {
+		t.Fatal(err)
+	}
+	id := jobs[0].ID
+	code, body, _ := get(t, r.srv.URL()+"/jobs/"+id+"/stragglers")
+	if code != http.StatusOK {
+		t.Fatalf("stragglers before commit status = %d, body %q", code, body)
+	}
+	var rep obs.StragglerReport
+	if err := json.Unmarshal([]byte(body), &rep); err != nil {
+		t.Fatalf("stragglers JSON: %v", err)
+	}
+	if rep.Job != id {
+		t.Errorf("report job = %q, want %q", rep.Job, id)
+	}
+	if rep.Stages == nil || len(rep.Stages) != 0 {
+		t.Errorf("stages = %#v, want empty non-nil slice", rep.Stages)
+	}
+	if rep.Stragglers == nil || len(rep.Stragglers) != 0 {
+		t.Errorf("stragglers = %#v, want empty non-nil slice", rep.Stragglers)
+	}
+	for _, tok := range []string{`"stages": null`, `"stragglers": null`, "NaN", "Inf"} {
+		if strings.Contains(body, tok) {
+			t.Errorf("raw body contains %q: %s", tok, body)
+		}
 	}
 }

@@ -59,6 +59,7 @@ type StageStats struct {
 	Tasks    int    `json:"tasks"`
 	MinUs    int64  `json:"min_us"`
 	MedianUs int64  `json:"median_us"`
+	P95Us    int64  `json:"p95_us"`
 	MaxUs    int64  `json:"max_us"`
 	SumUs    int64  `json:"sum_us"`
 }
@@ -421,7 +422,16 @@ func (b *JobsBoard) Stragglers(id string) (StragglerReport, bool) {
 	if j == nil {
 		return StragglerReport{}, false
 	}
-	rep := StragglerReport{Job: id}
+	// Empty slices, not nil: a job queried before any task commits must
+	// serialize as an empty report ("stages": []), never null — and a
+	// stage with zero retained samples yields no stats row at all rather
+	// than degenerate (NaN/Inf-shaped) quantiles.
+	rep := StragglerReport{Job: id, Stages: []StageStats{}}
+	rep.Stragglers = make([]struct {
+		Stage string `json:"stage"`
+		TaskSample
+		MedianUs int64 `json:"stage_median_us"`
+	}, 0)
 	stages := make([]string, 0, len(j.stages))
 	for st := range j.stages {
 		stages = append(stages, st)
@@ -429,9 +439,13 @@ func (b *JobsBoard) Stragglers(id string) (StragglerReport, bool) {
 	sort.Strings(stages)
 	for _, st := range stages {
 		sd := j.stages[st]
+		if sd == nil || len(sd.samples) == 0 {
+			continue
+		}
 		med := medianDur(sd.samples)
 		rep.Stages = append(rep.Stages, StageStats{
 			Stage: st, Tasks: sd.tasks, MinUs: sd.minUs, MedianUs: med,
+			P95Us: quantileDur(sd.samples, 0.95),
 			MaxUs: sd.maxUs, SumUs: sd.sumUs,
 		})
 		rep.Truncated = rep.Truncated || sd.truncated
@@ -453,6 +467,12 @@ func (b *JobsBoard) Stragglers(id string) (StragglerReport, bool) {
 
 // medianDur returns the median of the retained duration window.
 func medianDur(samples []TaskSample) int64 {
+	return quantileDur(samples, 0.5)
+}
+
+// quantileDur returns the q-th sample (nearest-rank) of the retained
+// duration window; 0 when the window is empty.
+func quantileDur(samples []TaskSample, q float64) int64 {
 	if len(samples) == 0 {
 		return 0
 	}
@@ -461,5 +481,9 @@ func medianDur(samples []TaskSample) int64 {
 		ds[i] = s.DurUs
 	}
 	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
-	return ds[len(ds)/2]
+	idx := int(float64(len(ds)) * q)
+	if idx >= len(ds) {
+		idx = len(ds) - 1
+	}
+	return ds[idx]
 }

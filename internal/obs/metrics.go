@@ -85,6 +85,15 @@ var DurationBucketsUs = []int64{
 	1_000_000, 3_000_000, 10_000_000, 30_000_000, 100_000_000,
 }
 
+// NewHistogram returns a standalone histogram with the given ascending
+// upper bounds, for components that need bucketed observations without
+// a registry (the engine's speculation thresholds, for instance).
+func NewHistogram(bounds []int64) *Histogram {
+	b := make([]int64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
 // Observe folds one value into the histogram.
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
@@ -118,6 +127,37 @@ func (h *Histogram) Bounds() []int64 {
 		return nil
 	}
 	return h.bounds
+}
+
+// Quantile returns the upper bound of the bucket holding the q-th
+// observation (0 < q <= 1). The second result is false when the
+// histogram is nil, empty, or the quantile falls in the +Inf bucket —
+// callers must treat that as "no estimate" rather than a value.
+// Bucket upper bounds make this a conservative (over-)estimate, which
+// is the right bias for straggler thresholds.
+func (h *Histogram) Quantile(q float64) (int64, bool) {
+	if h == nil {
+		return 0, false
+	}
+	n := h.n.Load()
+	if n == 0 || q <= 0 || q > 1 {
+		return 0, false
+	}
+	target := int64(float64(n)*q + 0.999999)
+	if target < 1 {
+		target = 1
+	}
+	if target > n {
+		target = n
+	}
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			return b, true
+		}
+	}
+	return 0, false // quantile lives in the +Inf bucket
 }
 
 // BucketCount returns the count of bucket i (i == len(Bounds()) is the
