@@ -1,0 +1,347 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"clusterbft/internal/analyze"
+	"clusterbft/internal/cluster"
+	"clusterbft/internal/digest"
+	"clusterbft/internal/mapred"
+	"clusterbft/internal/pig"
+)
+
+// evKey strips the shard assignment from a merged event, leaving the
+// fields that must be invariant across shard counts.
+type evKey struct {
+	Stamp   uint64
+	SID     string
+	Kind    VerdictEventKind
+	Replica int
+	Key     digest.Key
+}
+
+func evKeys(events []VerdictEvent) []evKey {
+	out := make([]evKey, len(events))
+	for i, ev := range events {
+		out[i] = evKey{Stamp: ev.Stamp, SID: ev.SID, Kind: ev.Kind, Replica: ev.Replica, Key: ev.Key}
+	}
+	return out
+}
+
+// poolWorkload replays a fixed synthetic digest workload (40 sids, 4
+// replicas, sporadic commission corruption) through a pool, syncing
+// every stride submissions, and returns the concatenated merged event
+// stream.
+func poolWorkload(shards, stride int) []VerdictEvent {
+	p := NewVerdictPool(1, shards, nil)
+	defer p.Close()
+	var merged []VerdictEvent
+	n := 0
+	for s := 0; s < 40; s++ {
+		sid := fmt.Sprintf("run1-c%d-a0", s)
+		for k := 0; k < 12; k++ {
+			for rep := 0; rep < 4; rep++ {
+				sum := sha256.Sum256([]byte(fmt.Sprintf("%d/%d", s, k)))
+				if rep == s%4 && (s+k)%5 == 0 {
+					sum = sha256.Sum256([]byte(fmt.Sprintf("bad/%d/%d/%d", s, k, rep)))
+				}
+				p.Submit(digest.Report{
+					Key:     digest.Key{SID: sid, Point: 1, Task: "m0", Chunk: k},
+					Replica: rep, Records: 1, Sum: sum,
+				})
+				if n++; n%stride == 0 {
+					merged = append(merged, p.Sync()...)
+				}
+			}
+		}
+	}
+	return append(merged, p.Sync()...)
+}
+
+// TestVerdictPoolMergeOrderDeterministic is the satellite-2 hammer: the
+// merge layer must assign a deterministic global order to evidence from
+// concurrent shard pipelines. Repeated runs at 8 shards — real worker
+// goroutines, run under -race in CI — must produce byte-identical event
+// streams, and the stream (minus the shard assignment) must not depend
+// on the shard count at all.
+func TestVerdictPoolMergeOrderDeterministic(t *testing.T) {
+	base := poolWorkload(8, 97)
+	if len(base) == 0 {
+		t.Fatal("workload produced no evidence")
+	}
+	for round := 0; round < 3; round++ {
+		if got := poolWorkload(8, 97); !reflect.DeepEqual(got, base) {
+			t.Fatalf("round %d: 8-shard event stream diverged", round)
+		}
+	}
+	want := evKeys(base)
+	for _, shards := range []int{1, 2, 4} {
+		if got := evKeys(poolWorkload(shards, 97)); !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d: merged evidence differs from 8-shard stream", shards)
+		}
+	}
+	// Sync granularity must not change the evidence either — only when
+	// it becomes visible.
+	if got := evKeys(poolWorkload(8, 13)); !reflect.DeepEqual(got, want) {
+		t.Error("sync stride changed the merged evidence stream")
+	}
+}
+
+// TestCrossShardFaultAnalyzerConvergence is the satellite-3 coverage: a
+// Byzantine node serving clusters that are verified by two *different*
+// shard pipelines must be identified from the merged evidence no later
+// than in the single-shard run. Evidence is applied to the analyzer in
+// merged stamp order, so the conviction index must match exactly.
+func TestCrossShardFaultAnalyzerConvergence(t *testing.T) {
+	const bad = cluster.NodeID("node-007")
+	// Job clusters touching the bad node, padded with disjoint honest
+	// nodes so intersection isolates it (Fig 7's disjoint family).
+	clusters := [][]cluster.NodeID{
+		{bad, "node-010", "node-011"},
+		{bad, "node-020", "node-021"},
+		{bad, "node-030", "node-031"},
+	}
+	run := func(shards int) (suspects []cluster.NodeID, convictedAt int) {
+		p := NewVerdictPool(1, shards, nil)
+		defer p.Close()
+		fa := NewFaultAnalyzer(1)
+		// One sid per faulty job cluster; replica 1 deviates on chunk 1.
+		sids := make([]string, len(clusters))
+		for i := range clusters {
+			sids[i] = fmt.Sprintf("run1-c%d-a0", i)
+		}
+		if shards > 1 {
+			distinct := false
+			for _, sid := range sids[1:] {
+				if p.ShardOf(sid) != p.ShardOf(sids[0]) {
+					distinct = true
+				}
+			}
+			if !distinct {
+				t.Fatalf("test sids all hash to shard %d; pick different sids", p.ShardOf(sids[0]))
+			}
+		}
+		for i, sid := range sids {
+			for k := 0; k < 3; k++ {
+				for rep := 0; rep < 4; rep++ {
+					sum := sha256.Sum256([]byte(fmt.Sprintf("h/%d/%d", i, k)))
+					if rep == 1 && k == 1 {
+						sum = sha256.Sum256([]byte(fmt.Sprintf("bad/%d", i)))
+					}
+					p.Submit(digest.Report{
+						Key:     digest.Key{SID: sid, Point: 1, Task: "m0", Chunk: k},
+						Replica: rep, Records: 1, Sum: sum,
+					})
+				}
+			}
+		}
+		convictedAt = -1
+		applied := 0
+		for _, ev := range p.Sync() {
+			if ev.Kind != VerdictDeviant {
+				continue
+			}
+			idx := 0
+			fmt.Sscanf(ev.SID, "run1-c%d-a0", &idx)
+			fa.Report(NewNodeSet(clusters[idx]...))
+			applied++
+			if convictedAt < 0 {
+				for _, d := range fa.Disjoint() {
+					if len(d) == 1 && d[bad] {
+						convictedAt = applied
+					}
+				}
+			}
+		}
+		return fa.Suspects(), convictedAt
+	}
+	soloSuspects, soloAt := run(1)
+	shardSuspects, shardAt := run(2)
+	if soloAt < 0 {
+		t.Fatal("single-shard run never isolated the Byzantine node")
+	}
+	if !reflect.DeepEqual(soloSuspects, shardSuspects) {
+		t.Errorf("suspect sets differ: solo=%v sharded=%v", soloSuspects, shardSuspects)
+	}
+	if shardAt < 0 || shardAt > soloAt {
+		t.Errorf("cross-shard isolation at evidence #%d, single-shard at #%d (must be no later)", shardAt, soloAt)
+	}
+}
+
+// shardedScenario runs one commission-fault scenario and returns the
+// result, the output lines, the audit trail and the per-node suspicion
+// levels.
+func shardedScenario(t *testing.T, shards int) (*Result, []string, []analyze.AuditEvent, map[cluster.NodeID]float64) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Shards = shards
+	cfg.ForcePointAliases = []string{"avgs", "counts"}
+	h := newHarness(t, 8, 2, cfg)
+	if err := h.cl.SetAdversary("node-000", cluster.FaultCommission, 0.7, 9); err != nil {
+		t.Fatal(err)
+	}
+	trail := analyze.NewAuditTrail(h.eng.Now)
+	h.ctrl.AttachAudit(trail)
+	res, err := h.ctrl.Run(weatherScript)
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	levels := make(map[cluster.NodeID]float64)
+	for i := 0; i < h.cl.Len(); i++ {
+		n := cluster.NodeID(fmt.Sprintf("node-%03d", i))
+		levels[n] = h.ctrl.Susp.Level(n)
+	}
+	return res, h.outputLines(t, res, "out/counts"), trail.Events(), levels
+}
+
+// auditKinds projects an audit stream onto its order-bearing identity:
+// kind, detail and the implicated nodes. Timestamps are allowed to
+// differ between sharded and inline runs (sharded evidence is applied
+// at merge points), but nothing else is.
+func auditKinds(events []analyze.AuditEvent) []string {
+	out := make([]string, len(events))
+	for i, ev := range events {
+		out[i] = fmt.Sprintf("%v|%s|%v|%v", ev.Kind, ev.Detail, ev.Nodes, ev.Removed)
+	}
+	return out
+}
+
+// TestControllerShardedMatchesInline: a sharded controller run must
+// reach the same verdicts as the inline one — same outputs, same
+// attempt/fault counts, same suspicion state, and the same audit
+// evidence in the same global order.
+func TestControllerShardedMatchesInline(t *testing.T) {
+	res1, out1, audit1, lv1 := shardedScenario(t, 0)
+	res4, out4, audit4, lv4 := shardedScenario(t, 4)
+	if !reflect.DeepEqual(out1, out4) {
+		t.Error("verified outputs differ between inline and 4-shard runs")
+	}
+	if res1.Attempts != res4.Attempts || res1.FaultyReplicas != res4.FaultyReplicas ||
+		res1.DigestReports != res4.DigestReports || res1.Clusters != res4.Clusters {
+		t.Errorf("run shape differs: inline %+v vs sharded %+v", res1, res4)
+	}
+	if !reflect.DeepEqual(res1.Suspects, res4.Suspects) {
+		t.Errorf("suspects differ: %v vs %v", res1.Suspects, res4.Suspects)
+	}
+	if !reflect.DeepEqual(lv1, lv4) {
+		t.Errorf("suspicion levels differ: %v vs %v", lv1, lv4)
+	}
+	k1, k4 := auditKinds(audit1), auditKinds(audit4)
+	if !reflect.DeepEqual(k1, k4) {
+		t.Errorf("audit evidence order differs:\ninline:  %v\nsharded: %v", k1, k4)
+	}
+}
+
+// TestControllerShardedReplaysByteIdentically: fixed seed, fixed shard
+// count — two runs must match in every observable, timestamps included.
+func TestControllerShardedReplaysByteIdentically(t *testing.T) {
+	resA, outA, auditA, lvA := shardedScenario(t, 4)
+	resB, outB, auditB, lvB := shardedScenario(t, 4)
+	if !reflect.DeepEqual(outA, outB) || !reflect.DeepEqual(auditA, auditB) ||
+		!reflect.DeepEqual(lvA, lvB) {
+		t.Error("4-shard replay diverged")
+	}
+	if resA.Attempts != resB.Attempts || resA.LatencyUs != resB.LatencyUs ||
+		resA.DigestReports != resB.DigestReports {
+		t.Errorf("4-shard replay results diverged: %+v vs %+v", resA, resB)
+	}
+}
+
+// TestSuffixRetryShedsSuffixEscalations is the satellite-1 regression
+// test for suffix-scoped replica sizing: timeout escalations earned
+// while re-executing only a checkpointed suffix must not follow the
+// checkpointed-prefix jobs into a later full re-execution — those jobs
+// re-run at their original degree. Escalations earned by full-graph
+// attempts are kept.
+func TestSuffixRetryShedsSuffixEscalations(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.R = 3
+	cfg.MaxAttempts = 10
+	cfg.Checkpoint = true
+	cfg.ForcePointAliases = []string{"counts"}
+	h := newHarness(t, 8, 2, cfg)
+	c := h.ctrl
+
+	plan, err := pig.Parse(weatherScript)
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := c.choosePoints(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := mapred.Compile(plan, mapred.CompileOptions{Points: points, NumReduces: cfg.NumReduces})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.runSeq++
+	c.initRun(jobs, points)
+	cs := c.clusters[0]
+	c.tryLaunch(cs)
+	if cs.r != 3 || len(cs.launchJobs) != len(cs.jobs) {
+		t.Fatalf("first attempt: r=%d launchJobs=%d/%d", cs.r, len(cs.launchJobs), len(cs.jobs))
+	}
+
+	// As if attempt a0 reached f+1 agreement on the interior job before
+	// timing out: plant its checkpoint (no upstream, so the source
+	// signature is empty and stays valid across attempts).
+	var interior string
+	for id := range cs.hasInDep {
+		interior = id
+	}
+	if interior == "" {
+		t.Fatal("scenario needs an interior (checkpointable) job")
+	}
+	h.fs.Append("ckpt/run1/c0/"+interior, "st00\t1")
+	c.ckpts[cs.id] = map[string]*ckptEntry{interior: {
+		path: "ckpt/run1/c0/" + interior, records: 1, bytes: 8,
+		srcs: map[int]ckptSrc{},
+	}}
+
+	// Full attempt a0 times out: a classic cluster-wide escalation.
+	c.retry(cs, true)
+	if cs.r != 4 || cs.suffixBoost != 0 {
+		t.Fatalf("full-graph escalation: r=%d boost=%d, want r=4 boost=0", cs.r, cs.suffixBoost)
+	}
+	if len(cs.launchJobs) >= len(cs.jobs) {
+		t.Fatal("retry did not consume the planted checkpoint")
+	}
+	// Two suffix-only attempts time out: escalations scoped to the suffix.
+	c.retry(cs, true)
+	c.retry(cs, true)
+	if cs.r != 6 || cs.suffixBoost != 2 {
+		t.Fatalf("suffix escalations: r=%d boost=%d, want r=6 boost=2", cs.r, cs.suffixBoost)
+	}
+	// Upstream lineage becomes suspect: checkpoints dropped, the next
+	// attempt re-executes the full graph — the checkpointed-prefix jobs
+	// come back at the degree they always had (base 3 + the one
+	// full-graph escalation), not at the suffix-inflated 7.
+	c.dropCkpts(cs)
+	c.retry(cs, true)
+	if len(cs.launchJobs) != len(cs.jobs) {
+		t.Fatal("expected a full re-execution after dropping checkpoints")
+	}
+	if cs.r != 4 || cs.suffixBoost != 0 {
+		t.Errorf("full re-execution r=%d boost=%d, want r=4 boost=0 (suffix escalations shed)", cs.r, cs.suffixBoost)
+	}
+	if st := c.ClusterStates()[cs.id]; st.R != cs.r {
+		t.Errorf("ClusterStatus.R=%d, want %d", st.R, cs.r)
+	}
+
+	// Control: the identical sequence without checkpoint coverage keeps
+	// the historical cluster-wide escalation.
+	c2 := newHarness(t, 8, 2, cfg).ctrl
+	c2.runSeq++
+	c2.initRun(jobs, points)
+	cs2 := c2.clusters[0]
+	c2.tryLaunch(cs2)
+	for i := 0; i < 4; i++ {
+		c2.retry(cs2, true)
+	}
+	if cs2.r != 7 || cs2.suffixBoost != 0 {
+		t.Errorf("uncovered retries: r=%d boost=%d, want r=7 boost=0", cs2.r, cs2.suffixBoost)
+	}
+}

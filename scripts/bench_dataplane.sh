@@ -1,7 +1,11 @@
 #!/usr/bin/env sh
 # Regenerates BENCH_dataplane.json: the tracked ns/op, B/op and allocs/op
 # baseline of the per-record data plane (see bench_dataplane_test.go and
-# EXPERIMENTS.md "Data-plane micro-benchmarks"). Run from the repo root:
+# EXPERIMENTS.md "Data-plane micro-benchmarks"), plus the verdict-plane
+# shard sweep (BenchmarkVerdictThroughput in internal/faultsim — note its
+# wall-clock only scales with shards when GOMAXPROCS provides the cores;
+# the deterministic scaling table is `experiments -exp shardscale`).
+# Run from the repo root:
 #
 #   scripts/bench_dataplane.sh [extra go-test args]
 #
@@ -12,16 +16,20 @@ set -eu
 cd "$(dirname "$0")/.."
 out=BENCH_dataplane.json
 
-go test -run='^$' -bench='BenchmarkDataplane' -benchmem "$@" ./internal/mapred/ |
+{
+	go test -run='^$' -bench='BenchmarkDataplane' -benchmem "$@" ./internal/mapred/
+	go test -run='^$' -bench='BenchmarkVerdictThroughput' -benchmem "$@" ./internal/faultsim/
+} |
 	awk '
 	BEGIN { print "{"; first = 1 }
 	/^goos:/ { goos = $2 }
 	/^goarch:/ { goarch = $2 }
 	/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
-	$1 ~ /^BenchmarkDataplane/ {
+	$1 ~ /^Benchmark(Dataplane|VerdictThroughput)/ {
 		name = $1
 		sub(/-[0-9]+$/, "", name)
 		sub(/^BenchmarkDataplane/, "", name)
+		sub(/^Benchmark/, "", name)
 		ns = ""; bytes = ""; allocs = ""; records = ""
 		for (i = 2; i < NF; i++) {
 			if ($(i + 1) == "ns/op") ns = $i
